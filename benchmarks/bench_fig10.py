@@ -1,0 +1,65 @@
+"""Fig. 10: design space exploration.
+
+Paper reference: (a) m-tile 1024 costs only ~19% latency over
+full-height tiles while cutting buffer demand; (b) vector size 32
+balances array MACs against scatter-accumulator ops; (c) 2x2x2 blocks
+suffice, temporal extent helping most; (d) 64 scatter accumulators
+reach within 5% of a 160-lane design.
+"""
+
+from repro.eval.experiments import fig10a, fig10b, fig10c, fig10d
+from repro.eval.reporting import format_sweep
+
+from conftest import bench_samples
+
+
+def _samples() -> int:
+    return max(2, bench_samples() // 2)
+
+
+def test_fig10a_tile_size(benchmark, publish):
+    points = benchmark.pedantic(
+        fig10a, kwargs={"num_samples": _samples()}, rounds=1, iterations=1,
+    )
+    publish("fig10a", format_sweep("FIG 10(a): GEMM m-tile size", points))
+    # Smaller tiles truncate comparison windows -> latency rises.
+    assert points[-1].latency >= points[0].latency
+    # Buffer demand shrinks with the tile.
+    buffers = [p.extra["output_buffer_kb"] for p in points]
+    assert buffers[-1] < buffers[0]
+
+
+def test_fig10b_vector_size(benchmark, publish):
+    points = benchmark.pedantic(
+        fig10b, kwargs={"num_samples": _samples()}, rounds=1, iterations=1,
+    )
+    publish("fig10b", format_sweep("FIG 10(b): vector size", points))
+    by_label = {p.label: p for p in points}
+    # Finer vectors -> fewer array MACs but more accumulator ops.
+    assert (by_label["8"].extra["array_gops"]
+            <= by_label["96"].extra["array_gops"] * 1.2)
+    assert (by_label["8"].extra["accumulator_gops"]
+            > by_label["96"].extra["accumulator_gops"])
+
+
+def test_fig10c_block_size(benchmark, publish):
+    points = benchmark.pedantic(
+        fig10c, kwargs={"num_samples": _samples()}, rounds=1, iterations=1,
+    )
+    publish("fig10c", format_sweep("FIG 10(c): SIC block size", points))
+    by_label = {p.label: p for p in points}
+    # Block 1x1x1 disables similarity concentration -> slowest.
+    assert by_label["111"].latency >= by_label["222"].latency
+    # Temporal extension helps (222 vs 122).
+    assert by_label["222"].latency <= by_label["122"].latency * 1.05
+
+
+def test_fig10d_scatter_accumulators(benchmark, publish):
+    points = benchmark.pedantic(
+        fig10d, kwargs={"num_samples": _samples()}, rounds=1, iterations=1,
+    )
+    publish("fig10d", format_sweep("FIG 10(d): scatter accumulators",
+                                   points))
+    by_label = {p.label: p for p in points}
+    # 64 accumulators come within ~5% of the largest design.
+    assert by_label["64"].latency <= by_label["160"].latency * 1.08

@@ -1,0 +1,28 @@
+"""Fig. 11: ablation study.
+
+Paper reference: SEC alone reaches 3.15x over the dense array (1.58x
+over CMC); adding the vector-wise SIC lifts it to 4.53x (another
+1.44x).
+"""
+
+from repro.eval.experiments import fig11
+from repro.eval.reporting import format_fig11
+
+from conftest import bench_samples
+
+
+def test_fig11(benchmark, publish):
+    bars = benchmark.pedantic(
+        fig11, kwargs={"num_samples": max(2, bench_samples() // 2)},
+        rounds=1, iterations=1,
+    )
+    publish("fig11", format_fig11(bars))
+
+    by_label = {bar.label: bar.speedup for bar in bars}
+    benchmark.extra_info.update(by_label)
+    assert by_label["systolic-array"] == 1.0
+    assert by_label["cmc"] > 1.0
+    assert by_label["ours-sec"] > by_label["cmc"]
+    assert by_label["ours"] > by_label["ours-sec"]
+    sic_gain = by_label["ours"] / by_label["ours-sec"]
+    assert sic_gain > 1.05, "SIC must add speedup on top of SEC"

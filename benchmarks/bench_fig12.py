@@ -1,0 +1,28 @@
+"""Fig. 12: memory-access analysis.
+
+Paper reference: Focus reduces DRAM traffic 4.9x (to 0.21 of dense)
+and compresses the average input matrix 5.6x (to 0.18), vs CMC's 0.76
+traffic at 46% sparsity — the cost of off-chip, token-wise compression.
+"""
+
+from repro.eval.experiments import fig12
+from repro.eval.reporting import format_fig12
+
+from conftest import bench_samples
+
+
+def test_fig12(benchmark, publish):
+    rows = benchmark.pedantic(
+        fig12, kwargs={"num_samples": max(2, bench_samples() // 2)},
+        rounds=1, iterations=1,
+    )
+    publish("fig12", format_fig12(rows))
+
+    mean = rows[-1]
+    assert mean.model == "mean"
+    benchmark.extra_info["focus_dram_ratio"] = mean.dram_ratio["focus"]
+    benchmark.extra_info["focus_act_ratio"] = mean.activation_ratio["focus"]
+    assert mean.dram_ratio["focus"] < 0.6
+    assert mean.dram_ratio["focus"] < mean.dram_ratio["cmc"]
+    assert mean.dram_ratio["focus"] < mean.dram_ratio["adaptiv"]
+    assert mean.activation_ratio["focus"] < mean.activation_ratio["cmc"]

@@ -1,0 +1,38 @@
+"""Fig. 9: speedup, energy, and area/power breakdowns.
+
+Paper reference (geometric means over 3 models x 3 datasets): Focus is
+4.47x faster than the vanilla systolic array, 2.60x faster than
+AdapTiV, 2.35x faster than CMC, 7.90x faster than the GPU and 2.37x
+faster than GPU+FrameFusion; energy efficiency improves 4.67x over the
+array.  The Focus power pie is ~59% DRAM with SEC+SIC under 3% of area.
+"""
+
+from repro.eval.experiments import fig9
+from repro.eval.reporting import format_fig9
+
+from conftest import bench_samples
+
+
+def test_fig9(benchmark, publish):
+    result = benchmark.pedantic(
+        fig9, kwargs={"num_samples": max(2, bench_samples() // 2)},
+        rounds=1, iterations=1,
+    )
+    publish("fig9", format_fig9(result))
+
+    speedup = result.geomean_speedup
+    benchmark.extra_info["focus_vs_sa"] = speedup["focus"]
+    benchmark.extra_info["focus_vs_cmc"] = speedup["focus"] / speedup["cmc"]
+    assert speedup["focus"] > 3.0
+    assert speedup["focus"] > speedup["adaptiv"]
+    assert speedup["focus"] > speedup["cmc"]
+    assert speedup["focus"] > speedup["gpu"]
+    assert speedup["focus"] > speedup["gpu+ff"]
+    # Energy: Focus consumes the least among the accelerators.
+    energy = result.geomean_energy
+    assert energy["focus"] < energy["adaptiv"]
+    assert energy["focus"] < energy["cmc"]
+    # Power breakdown: DRAM dominates, as in Fig. 9(c).
+    power = result.power_breakdown_w
+    total = sum(power.values())
+    assert power["dram"] / total > 0.4

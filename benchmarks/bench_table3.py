@@ -1,0 +1,27 @@
+"""Table III: architecture configuration comparison.
+
+Paper reference values: areas 3.12 / 3.38 / 3.58 / 3.21 mm^2 and
+on-chip powers 720 / 1176 / 832 / 736 mW for the systolic array,
+AdapTiV, CMC and Focus respectively (28 nm, 500 MHz, 1024 PEs each).
+"""
+
+from repro.eval.experiments import table3
+from repro.eval.reporting import format_table3
+
+from conftest import bench_samples
+
+
+def test_table3(benchmark, publish):
+    rows = benchmark.pedantic(
+        table3, kwargs={"num_samples": max(2, bench_samples() // 4)},
+        rounds=1, iterations=1,
+    )
+    publish("table3", format_table3(rows))
+
+    by_name = {row.name: row for row in rows}
+    assert abs(by_name["systolic-array"].area_mm2 - 3.12) < 0.03
+    assert abs(by_name["focus"].area_mm2 - 3.21) < 0.03
+    # Focus adds <3% area over the vanilla array.
+    overhead = by_name["focus"].area_mm2 / by_name["systolic-array"].area_mm2
+    benchmark.extra_info["focus_area_overhead"] = overhead - 1.0
+    assert overhead - 1.0 < 0.04

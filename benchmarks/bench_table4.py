@@ -1,0 +1,28 @@
+"""Table IV: influence of INT8 quantization on accuracy and sparsity.
+
+Paper reference: INT8 costs Focus ~0.5% accuracy on average and
+changes sparsity by only ~0.13% — concentration and quantization
+compose.
+"""
+
+from repro.eval.experiments import table4
+from repro.eval.reporting import format_table4
+
+from conftest import bench_samples
+
+
+def test_table4(benchmark, publish):
+    rows = benchmark.pedantic(
+        table4, kwargs={"num_samples": bench_samples()},
+        rounds=1, iterations=1,
+    )
+    publish("table4", format_table4(rows))
+
+    mean_sparsity_shift = sum(
+        abs(row.sparsity_degrade) for row in rows
+    ) / len(rows)
+    benchmark.extra_info["mean_sparsity_shift"] = mean_sparsity_shift
+    assert mean_sparsity_shift < 5.0, (
+        "INT8 should barely change concentration sparsity"
+    )
+    assert all(row.ours_sparsity > 65.0 for row in rows)

@@ -1,0 +1,26 @@
+"""Table V: generalization to image VLMs (one-frame videos).
+
+Paper reference: on Llava-OneVision and Qwen2.5-VL image benchmarks,
+both AdapTiV and Focus speed up inference (1.6-5.2x), with Focus
+keeping accuracy closer to dense.
+"""
+
+from repro.eval.experiments import table5
+from repro.eval.reporting import format_table5
+
+from conftest import bench_samples
+
+
+def test_table5(benchmark, publish):
+    rows = benchmark.pedantic(
+        table5, kwargs={"num_samples": bench_samples()},
+        rounds=1, iterations=1,
+    )
+    publish("table5", format_table5(rows))
+
+    assert all(row.ours_speedup > 1.0 for row in rows)
+    mean_speedup = sum(row.ours_speedup for row in rows) / len(rows)
+    benchmark.extra_info["ours_mean_speedup"] = mean_speedup
+    # Accuracy stays close to dense even without temporal redundancy.
+    for row in rows:
+        assert row.ours_acc >= row.dense_acc - 25.0

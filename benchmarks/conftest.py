@@ -1,0 +1,40 @@
+"""Benchmark-harness configuration.
+
+Each benchmark regenerates one table or figure of the paper's
+evaluation, prints the rows in the paper's layout, and writes them to
+``benchmarks/results/`` for the EXPERIMENTS.md paper-vs-measured
+comparison.  Sample counts scale with the ``REPRO_BENCH_SAMPLES``
+environment variable (default 8).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_samples(default: int = 8) -> int:
+    """Per-cell sample count for benchmark experiments."""
+    return int(os.environ.get("REPRO_BENCH_SAMPLES", default))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def publish(results_dir, capsys):
+    """Return a callback that prints and persists a formatted result."""
+
+    def _publish(name: str, text: str) -> None:
+        with capsys.disabled():
+            print(f"\n{text}\n")
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _publish

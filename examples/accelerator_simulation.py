@@ -1,0 +1,70 @@
+"""Accelerator simulation: from algorithm traces to cycles and energy.
+
+Runs each method's algorithm on the synthetic VLM, rescales the traces
+to the paper's 7B geometry, and simulates all four Table III
+architectures plus the GPU roofline — reproducing the Fig. 9 speedup
+and energy bars and the area breakdown.
+
+Run:  python examples/accelerator_simulation.py
+"""
+
+from repro.accel.arch import ADAPTIV, CMC, FOCUS, SYSTOLIC
+from repro.accel.area import area_breakdown, total_area_mm2
+from repro.accel.scaling import scale_to_paper
+from repro.accel.simulator import simulate_many
+from repro.baselines.gpu import JETSON_ORIN_NANO, simulate_gpu
+from repro.eval.runner import ModelCache, evaluate
+
+
+def main(num_samples: int = 4) -> None:
+    model = "llava-video"
+    dataset = "videomme"
+    hidden = ModelCache.get(model).config.hidden
+
+    print(f"workload: {model} / {dataset}, {num_samples} samples,"
+          " traces rescaled to 7B geometry\n")
+
+    cells = {
+        method: evaluate(model, dataset, method, num_samples, seed=0)
+        for method in ("dense", "framefusion", "adaptiv", "cmc", "focus")
+    }
+    sims = {}
+    for method, arch in (("dense", SYSTOLIC), ("adaptiv", ADAPTIV),
+                         ("cmc", CMC), ("focus", FOCUS)):
+        scaled = [scale_to_paper(t, hidden) for t in cells[method].traces]
+        sims[method] = simulate_many(scaled, arch)
+
+    gpu = sum(
+        simulate_gpu(scale_to_paper(t, hidden), JETSON_ORIN_NANO).latency_s
+        for t in cells["dense"].traces
+    )
+    gpu_ff = sum(
+        simulate_gpu(scale_to_paper(t, hidden), JETSON_ORIN_NANO,
+                     sparse=True).latency_s
+        for t in cells["framefusion"].traces
+    )
+
+    base = sims["dense"]
+    print(f"{'design':16s}{'speedup':>9s}{'energy eff':>12s}"
+          f"{'DRAM ratio':>12s}{'on-chip W':>11s}{'area mm2':>10s}")
+    for method, arch in (("dense", SYSTOLIC), ("adaptiv", ADAPTIV),
+                         ("cmc", CMC), ("focus", FOCUS)):
+        sim = sims[method]
+        print(f"{arch.name:16s}"
+              f"{base.latency_s() / sim.latency_s():>9.2f}"
+              f"{base.energy.total_j / sim.energy.total_j:>12.2f}"
+              f"{sim.dram_bytes / base.dram_bytes:>12.2f}"
+              f"{sim.on_chip_power_w():>11.3f}"
+              f"{total_area_mm2(arch):>10.2f}")
+    print(f"{'gpu (orin)':16s}{base.latency_s() / gpu:>9.2f}")
+    print(f"{'gpu + ff':16s}{base.latency_s() / gpu_ff:>9.2f}")
+
+    print("\nFocus area breakdown (Fig. 9(c)):")
+    parts = area_breakdown(FOCUS)
+    total = sum(parts.values())
+    for name, area in parts.items():
+        print(f"  {name:16s}{area:7.3f} mm2  ({100 * area / total:5.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

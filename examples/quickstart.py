@@ -1,0 +1,48 @@
+"""Quickstart: run Focus multilevel concentration on a synthetic video.
+
+Builds a Llava-Video-7B analog, generates a VideoMME-like video QA
+sample, and compares dense inference against Focus (SEC + SIC):
+same answer, ~80% fewer operations.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import FocusConfig, FocusPlugin
+from repro.eval.metrics import computation_sparsity
+from repro.model import SyntheticVLM, get_model_config
+from repro.workloads import make_dataset
+
+
+def main() -> None:
+    config = get_model_config("llava-video")
+    model = SyntheticVLM(config)
+    samples = make_dataset("videomme", config.layout, num_samples=4, seed=0)
+
+    print(f"model: {config.name}  (hidden={config.hidden},"
+          f" layers={config.num_layers}, heads={config.num_heads})")
+    print(f"sample: {samples[0].num_visual_tokens} visual +"
+          f" {samples[0].num_text_tokens} text tokens\n")
+
+    focus = FocusConfig()
+    for i, sample in enumerate(samples):
+        dense = model.forward(sample)
+        concentrated = model.forward(sample, FocusPlugin(model, focus))
+        sparsity = computation_sparsity(
+            concentrated.trace, config, sample
+        )
+        names = sample.codebooks.slot_names(sample.question.slot)
+        print(f"[{i}] {sample.question.text}")
+        print(f"    ground truth: {names[sample.question.answer_index]}")
+        print(f"    dense answer: {names[dense.predicted_index]}"
+              f" ({'ok' if dense.correct else 'WRONG'})")
+        print(f"    focus answer: {names[concentrated.predicted_index]}"
+              f" ({'ok' if concentrated.correct else 'WRONG'}),"
+              f" sparsity {100 * sparsity:.1f}%,"
+              f" tokens {dense.final_tokens} -> "
+              f"{concentrated.final_tokens}")
+    print("\nFocus removed ~80% of the compute while answering the same"
+          " questions.")
+
+
+if __name__ == "__main__":
+    main()

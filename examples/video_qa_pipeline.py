@@ -1,0 +1,40 @@
+"""Video-QA evaluation pipeline: every method on every video benchmark.
+
+Mirrors the paper's Table II workflow: for one model analog, evaluate
+dense, FrameFusion, AdapTiV, CMC and Focus on the three video
+benchmarks, printing paired accuracy and computation sparsity.
+
+Run:  python examples/video_qa_pipeline.py [num_samples]
+"""
+
+import sys
+
+from repro.eval.runner import PAPER_METHOD_NAMES, evaluate
+
+MODEL = "llava-video"
+DATASETS = ("videomme", "mlvu", "mvbench")
+METHODS = ("dense", "framefusion", "adaptiv", "cmc", "focus")
+
+
+def main(num_samples: int = 8) -> None:
+    header = f"{'dataset':10s}{'metric':>10s}" + "".join(
+        f"{PAPER_METHOD_NAMES[m]:>9s}" for m in METHODS
+    )
+    print(f"model: {MODEL}  samples per cell: {num_samples}")
+    print(header)
+    for dataset in DATASETS:
+        accuracy_row = f"{dataset:10s}{'acc %':>10s}"
+        sparsity_row = f"{'':10s}{'sparsity':>10s}"
+        for method in METHODS:
+            cell = evaluate(MODEL, dataset, method, num_samples, seed=0)
+            accuracy_row += f"{cell.accuracy:9.1f}"
+            sparsity_row += f"{cell.sparsity:9.1f}"
+        print(accuracy_row)
+        print(sparsity_row)
+    print("\nExpected shape (paper Table II): Focus has the highest"
+          " sparsity at accuracy comparable to dense;\nCMC loses the most"
+          " sparsity on the high-motion benchmark (mvbench).")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 8)

@@ -1,0 +1,12 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` on a PEP 517 project requires ``wheel`` to build
+an editable wheel; this offline environment lacks it, so we keep a
+classic ``setup.py`` and omit ``[build-system]`` from ``pyproject.toml``
+to let pip use the legacy develop-install path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,43 @@
+"""repro: a full reproduction of *Focus: A Streaming Concentration
+Architecture for Efficient Vision-Language Models* (HPCA 2026).
+
+The package has four layers:
+
+* ``repro.model`` / ``repro.workloads`` — a NumPy VLM substrate and
+  synthetic video/image QA benchmarks (substituting the paper's 7B
+  PyTorch models and HuggingFace datasets).
+* ``repro.core`` — the paper's contribution: multilevel concentration
+  (semantic / block / vector) as a streaming, tile-local pipeline.
+* ``repro.baselines`` — FrameFusion, AdapTiV, CMC and GPU roofline
+  comparators.
+* ``repro.accel`` / ``repro.eval`` — a trace-driven systolic-array
+  simulator with DRAM/energy/area models, and experiment drivers that
+  regenerate every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import FocusConfig, FocusPlugin, SyntheticVLM
+    from repro.model import get_model_config
+    from repro.workloads import make_dataset
+
+    config = get_model_config("llava-video")
+    model = SyntheticVLM(config)
+    samples = make_dataset("videomme", config.layout, num_samples=4)
+    plugin = FocusPlugin(model, FocusConfig())
+    result = model.forward(samples[0], plugin)
+"""
+
+from repro.config import DEFAULT_CONFIG, FocusConfig
+from repro.model import ModelConfig, SyntheticVLM
+from repro.core import FocusPlugin
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "FocusConfig",
+    "ModelConfig",
+    "SyntheticVLM",
+    "FocusPlugin",
+    "__version__",
+]

@@ -1,0 +1,127 @@
+"""Accelerator architecture configurations (Table III).
+
+All four designs share frequency, technology node, PE count, operand
+width and DRAM bandwidth; they differ in array aspect ratio, buffer
+provisioning, compression strategy and attached special units —
+exactly the controlled comparison of the paper's Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ArchConfig:
+    """One accelerator configuration.
+
+    Attributes:
+        name: Display name.
+        pe_rows: Systolic-array height (dot-product length per pass).
+        pe_cols: Systolic-array width (output vectors per pass).
+        frequency_hz: Core clock.
+        input_buffer_kb: Input activation SRAM.
+        weight_buffer_kb: Weight SRAM.
+        output_buffer_kb: Output/accumulation SRAM.
+        extra_buffer_kb: Method-specific SRAM (Focus layouter window,
+            CMC codec staging, AdapTiV merge buffers).
+        dram_bandwidth_gbs: Off-chip bandwidth.
+        compression: Activation write-back strategy — ``"none"``
+            (dense), ``"focus"`` (tile-local compressed + metadata),
+            ``"cmc"`` (condensed reads, restored full writes, codec
+            round-trip at entry), ``"adaptiv"`` (reduced token set, but
+            full uncompressed transfer before the merge unit).
+        has_sec: Semantic concentrator present.
+        has_sic: Similarity concentrator present.
+        has_codec: External video-codec block present (CMC).
+        has_merge_unit: Token-merge unit present (AdapTiV).
+        scatter_accumulators: Parallel FP32 accumulators in the
+            similarity scatter (Fig. 10(d) sweep; 64 is the knee).
+    """
+
+    name: str
+    pe_rows: int = 32
+    pe_cols: int = 32
+    frequency_hz: float = 500e6
+    input_buffer_kb: float = 128.0
+    weight_buffer_kb: float = 78.0
+    output_buffer_kb: float = 512.0
+    extra_buffer_kb: float = 0.0
+    dram_bandwidth_gbs: float = 64.0
+    compression: str = "none"
+    has_sec: bool = False
+    has_sic: bool = False
+    has_codec: bool = False
+    has_merge_unit: bool = False
+    scatter_accumulators: int = 64
+
+    def __post_init__(self) -> None:
+        if self.pe_rows < 1 or self.pe_cols < 1:
+            raise ValueError("PE array dimensions must be positive")
+        if self.compression not in ("none", "focus", "cmc", "adaptiv"):
+            raise ValueError(f"unknown compression {self.compression!r}")
+
+    @property
+    def num_pes(self) -> int:
+        return self.pe_rows * self.pe_cols
+
+    @property
+    def buffer_kb(self) -> float:
+        """Total on-chip SRAM."""
+        return (
+            self.input_buffer_kb
+            + self.weight_buffer_kb
+            + self.output_buffer_kb
+            + self.extra_buffer_kb
+        )
+
+
+SYSTOLIC = ArchConfig(name="systolic-array", extra_buffer_kb=16.0)
+"""Vanilla 32x32 weight-stationary array, 734 KB SRAM (misc staging in
+place of the layouter window), no compression."""
+
+ADAPTIV = ArchConfig(
+    name="adaptiv",
+    pe_rows=16,
+    pe_cols=64,
+    extra_buffer_kb=50.0,
+    compression="adaptiv",
+    has_merge_unit=True,
+)
+"""AdapTiV: 16x64 array, 768 KB SRAM, sign-similarity merge unit."""
+
+CMC = ArchConfig(
+    name="cmc",
+    extra_buffer_kb=189.0,
+    compression="cmc",
+    has_codec=True,
+)
+"""CMC: 32x32 array plus an external codec block and 907 KB SRAM
+(large staging buffers for the codec's uncompressed working set)."""
+
+FOCUS = ArchConfig(
+    name="focus",
+    extra_buffer_kb=16.0,
+    compression="focus",
+    has_sec=True,
+    has_sic=True,
+)
+"""Focus: 32x32 array, 734 KB SRAM (16 KB layouter window), SEC + SIC."""
+
+ARCH_CONFIGS: dict[str, ArchConfig] = {
+    "systolic-array": SYSTOLIC,
+    "adaptiv": ADAPTIV,
+    "cmc": CMC,
+    "focus": FOCUS,
+}
+
+METHOD_TO_ARCH: dict[str, ArchConfig] = {
+    "dense": SYSTOLIC,
+    "adaptiv": ADAPTIV,
+    "cmc": CMC,
+    "focus": FOCUS,
+    "focus-sec": FOCUS,
+    "focus-sic": FOCUS,
+    "focus-token": FOCUS,
+}
+"""Which hardware runs which method's trace."""

@@ -1,0 +1,65 @@
+"""28 nm area model and component breakdown (Table III, Fig. 9(c)).
+
+Per-component densities are set to standard 28 nm figures (FP16 MAC
+PE ~1340 um^2, single-port SRAM ~2 mm^2/MB) and reproduce the paper's
+synthesized totals: 3.12 mm^2 for the vanilla array, 3.21 mm^2 for
+Focus (+2.7%), 3.38 mm^2 for AdapTiV, 3.58 mm^2 for CMC.
+"""
+
+from __future__ import annotations
+
+from repro.accel.arch import ArchConfig
+
+PE_AREA_MM2 = 1.34e-3
+"""One FP16-multiply / FP32-accumulate PE with pipeline registers."""
+
+SRAM_MM2_PER_KB = 1.95e-3
+"""Compiled single-port SRAM macro density."""
+
+SFU_AREA_MM2 = 0.32
+"""Special function unit (exp/div/sqrt lanes shared by softmax,
+RMSNorm and, in Focus, cosine normalization)."""
+
+SEC_AREA_MM2 = 0.061
+"""Semantic concentrator: max lanes, bubble sorter, offset encoder
+(1.9% of the Focus design)."""
+
+SIC_AREA_MM2 = 0.026
+"""Similarity concentrator: dot-product matcher, similarity map logic,
+scatter accumulators (0.8%)."""
+
+CODEC_AREA_MM2 = 0.12
+"""CMC's external video-codec block (motion search + reconstruction)."""
+
+MERGE_UNIT_AREA_MM2 = 0.19
+"""AdapTiV's sign-similarity token-merge unit."""
+
+
+def area_breakdown(arch: ArchConfig) -> dict[str, float]:
+    """Per-component area (mm^2) of a configuration."""
+    breakdown = {
+        "systolic_array": arch.num_pes * PE_AREA_MM2,
+        "buffer": arch.buffer_kb * SRAM_MM2_PER_KB,
+        "sfu": SFU_AREA_MM2,
+    }
+    if arch.has_sec:
+        breakdown["sec"] = SEC_AREA_MM2
+    if arch.has_sic:
+        breakdown["sic"] = SIC_AREA_MM2
+    if arch.has_codec:
+        breakdown["codec"] = CODEC_AREA_MM2
+    if arch.has_merge_unit:
+        breakdown["merge_unit"] = MERGE_UNIT_AREA_MM2
+    return breakdown
+
+
+def total_area_mm2(arch: ArchConfig) -> float:
+    """Total on-chip area of a configuration."""
+    return sum(area_breakdown(arch).values())
+
+
+def focus_overhead_fraction() -> float:
+    """Area overhead of the Focus Unit relative to the vanilla array."""
+    from repro.accel.arch import FOCUS, SYSTOLIC
+
+    return total_area_mm2(FOCUS) / total_area_mm2(SYSTOLIC) - 1.0

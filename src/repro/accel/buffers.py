@@ -1,0 +1,89 @@
+"""On-chip buffer capacity model.
+
+Used for two things: validating that the Table I tiling fits the
+Table I buffers (worst-case analysis of Sec. VIII-B — a fully
+incompressible tile must not overflow), and the latency-vs-buffer
+trade-off of the Fig. 10(a) tile-size sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.arch import ArchConfig
+from repro.accel.trace import BYTES_PER_ELEMENT
+
+ACCUMULATOR_BYTES = 4
+"""Output tiles accumulate in FP32."""
+
+
+@dataclass(frozen=True)
+class BufferRequirement:
+    """Worst-case SRAM demand of one tiling configuration (bytes)."""
+
+    input_bytes: int
+    weight_bytes: int
+    output_bytes: int
+    layouter_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return (
+            self.input_bytes
+            + self.weight_bytes
+            + self.output_bytes
+            + self.layouter_bytes
+        )
+
+
+def tiling_requirement(
+    m_tile: int,
+    n_tile: int,
+    k_tile: int,
+    hidden: int,
+    layouter_window: int = 256,
+    double_buffered: bool = True,
+) -> BufferRequirement:
+    """Worst-case buffer demand of a tiling configuration.
+
+    Args:
+        m_tile: Output-tile height (tokens per tile).
+        n_tile: Output-tile width.
+        k_tile: Inner-dimension tile (array height).
+        hidden: Hidden dimension (input rows span the full k).
+        layouter_window: Vectors held by the convolution-style
+            layouter's reorder window (Table I: 256).
+        double_buffered: Ping-pong buffers for overlap.
+    """
+    factor = 2 if double_buffered else 1
+    input_bytes = m_tile * k_tile * BYTES_PER_ELEMENT * factor
+    weight_bytes = k_tile * n_tile * BYTES_PER_ELEMENT * factor
+    # The worst case keeps the full m x n tile resident in FP32 until
+    # gathering completes; no overflow is possible because gathering
+    # only ever shrinks the tile (Sec. VIII-B).
+    output_bytes = m_tile * n_tile * ACCUMULATOR_BYTES * factor
+    layouter_bytes = layouter_window * n_tile * BYTES_PER_ELEMENT
+    del hidden  # spans are tiled; kept for signature clarity
+    return BufferRequirement(
+        input_bytes=input_bytes,
+        weight_bytes=weight_bytes,
+        output_bytes=output_bytes,
+        layouter_bytes=layouter_bytes,
+    )
+
+
+def fits(arch: ArchConfig, requirement: BufferRequirement) -> bool:
+    """Whether a tiling's worst case fits the architecture's SRAM."""
+    checks = (
+        requirement.input_bytes <= arch.input_buffer_kb * 1024,
+        requirement.weight_bytes <= arch.weight_buffer_kb * 1024,
+        requirement.output_bytes <= arch.output_buffer_kb * 1024,
+        requirement.layouter_bytes
+        <= max(arch.extra_buffer_kb, 0.0) * 1024 or arch.extra_buffer_kb == 0,
+    )
+    return all(checks)
+
+
+def output_buffer_kb_for_tile(m_tile: int, n_tile: int = 32) -> float:
+    """Output SRAM needed for a given m-tile (Fig. 10(a) buffer axis)."""
+    return m_tile * n_tile * ACCUMULATOR_BYTES * 2 / 1024.0

@@ -1,0 +1,52 @@
+"""Off-chip DRAM model (DDR4, Table I: 4Gb x16 2133R, 4 channels).
+
+Bandwidth-and-energy level model standing in for DRAMsim3: transfers
+move at a fixed achievable bandwidth and cost a fixed energy per byte.
+Row-buffer effects are folded into the achievable-bandwidth derating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.energy import E_DRAM_PJ_PER_BYTE
+
+
+@dataclass(frozen=True)
+class DramModel:
+    """DDR4 channel group.
+
+    Attributes:
+        bandwidth_gbs: Peak aggregate bandwidth (Table I: 64 GB/s).
+        efficiency: Achievable fraction of peak on streaming access.
+        energy_pj_per_byte: Device + IO energy per byte transferred.
+        static_power_w: Background power of the four-channel DDR4
+            group (activate/precharge standby, refresh, clocking) —
+            paid for the whole runtime regardless of traffic, as
+            DRAMsim3's device model does.  This is why energy
+            efficiency tracks speedup so closely in Fig. 9.
+    """
+
+    bandwidth_gbs: float = 64.0
+    efficiency: float = 0.80
+    energy_pj_per_byte: float = E_DRAM_PJ_PER_BYTE
+    static_power_w: float = 0.85
+
+    @property
+    def achievable_bytes_per_s(self) -> float:
+        return self.bandwidth_gbs * 1e9 * self.efficiency
+
+    def transfer_seconds(self, num_bytes: float) -> float:
+        """Time to move ``num_bytes`` at achievable bandwidth."""
+        if num_bytes <= 0:
+            return 0.0
+        return num_bytes / self.achievable_bytes_per_s
+
+    def transfer_cycles(self, num_bytes: float, frequency_hz: float) -> int:
+        """Same, expressed in core cycles."""
+        return int(round(self.transfer_seconds(num_bytes) * frequency_hz))
+
+    def energy_j(self, num_bytes: float, runtime_s: float = 0.0) -> float:
+        """Transfer + background energy in joules."""
+        dynamic = num_bytes * self.energy_pj_per_byte * 1e-12
+        return dynamic + self.static_power_w * runtime_s

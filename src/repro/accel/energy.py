@@ -1,0 +1,68 @@
+"""28 nm energy constants and accounting.
+
+The constants follow the usual 28 nm CMOS estimates (Horowitz,
+ISSCC'14 scaling; DDR4 device power from DRAMsim3-class models) and
+are calibrated so the vanilla systolic array lands at Table III's
+~720 mW on-chip power under the Llava-Video/VideoMME workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+E_MAC_FP16_PJ = 1.10
+"""FP16 multiply + FP32 accumulate with operand movement through the
+array, 28 nm (calibrated to Table III's 720 mW vanilla-array power)."""
+
+E_SRAM_PJ_PER_BYTE = 4.0
+"""Large-buffer SRAM access (read or write), per byte."""
+
+E_DRAM_PJ_PER_BYTE = 120.0
+"""DDR4 device + IO energy per byte transferred."""
+
+E_SFU_OP_PJ = 1.8
+"""Special-function op (exp, div, sqrt for softmax/RMSNorm/cosine)."""
+
+E_CMP_PJ = 0.05
+"""Scalar compare (sorter stage, sign check)."""
+
+E_ACC_FP32_PJ = 0.45
+"""FP32 accumulate in the scatter accumulator."""
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy of one simulated run, split as in Fig. 9(b).
+
+    Attributes:
+        core_j: PE array + special units (SEC/SIC/codec/merge/SFU).
+        buffer_j: On-chip SRAM traffic.
+        dram_j: Off-chip transfers.
+    """
+
+    core_j: float
+    buffer_j: float
+    dram_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.core_j + self.buffer_j + self.dram_j
+
+    def scaled(self, factor: float) -> "EnergyBreakdown":
+        """Scale every component (e.g. per-sample normalization)."""
+        return EnergyBreakdown(
+            core_j=self.core_j * factor,
+            buffer_j=self.buffer_j * factor,
+            dram_j=self.dram_j * factor,
+        )
+
+    def fractions(self) -> dict[str, float]:
+        """Component shares of the total (for breakdown plots)."""
+        total = self.total_j
+        if total <= 0:
+            return {"core": 0.0, "buffer": 0.0, "dram": 0.0}
+        return {
+            "core": self.core_j / total,
+            "buffer": self.buffer_j / total,
+            "dram": self.dram_j / total,
+        }

@@ -1,0 +1,143 @@
+"""Timing and energy model of the Focus Unit (SEC + SIC).
+
+The unit's defining property is that it stays *off the critical path*:
+the SEC sorter overlaps the image-attention GEMM (Sec. V-B's ratio
+argument) and the SIC matcher finishes within each tile's GEMM time
+whenever ``K >= 256`` (Sec. VI-A).  The simulator uses these models to
+charge only the *non-overlapped* residue, plus the unit's energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.energy import E_ACC_FP32_PJ, E_CMP_PJ, E_MAC_FP16_PJ
+from repro.accel.trace import ModelTrace, SecEvent
+
+
+def _sorter_cycles(num_candidates: int, k: int, lanes: int) -> int:
+    """``M * ceil(k/a)`` streaming-sorter cycles.
+
+    Kept in sync with :func:`repro.core.topk.sorter_cycles` (tests
+    assert equality); duplicated here so the accel package does not
+    import the algorithm package.
+    """
+    passes = -(-max(k, 0) // lanes)
+    return num_candidates * passes
+
+
+MATCHER_OPS_PER_COMPARISON = 32
+"""One cosine comparison = one 32-wide dot product (norms are
+precomputed and reused, Sec. VI-A)."""
+
+NORM_OPS_PER_VECTOR = 32
+"""One L2-norm computation per stored vector."""
+
+
+@dataclass(frozen=True)
+class FocusUnitActivity:
+    """Cycle and energy accounting of the unit over one trace."""
+
+    sorter_cycles: int
+    matcher_cycles: int
+    scatter_cycles: int
+    exposed_cycles: int
+    energy_j: float
+
+
+def sec_sorter_cycles(events: list[SecEvent], lanes: int = 32) -> int:
+    """Total streaming-sorter occupancy across pruning events."""
+    return sum(
+        _sorter_cycles(event.candidates, event.selected, lanes)
+        for event in events
+    )
+
+
+def sec_attention_cycles(
+    events: list[SecEvent], trace: ModelTrace, rows: int, cols: int
+) -> int:
+    """Image-attention GEMM cycles available to hide the sorter.
+
+    The sorter of the pruning at layer ``l`` overlaps that layer's
+    ``Q(i) K^T`` GEMM (the dominant part of the ``qk`` record).
+    """
+    available = 0
+    qk_by_layer = {
+        g.layer: g for g in trace.gemms if g.name == "qk"
+    }
+    for event in events:
+        gemm = qk_by_layer.get(event.layer)
+        if gemm is None:
+            continue
+        k_tiles = -(-gemm.k // rows)
+        n_tiles = -(-gemm.n // cols)
+        available += k_tiles * n_tiles * (gemm.m + rows + cols - 1)
+    return available
+
+
+def sic_matcher_cycles(trace: ModelTrace) -> int:
+    """Matcher occupancy: one comparison or norm per cycle.
+
+    Per tile of ``m`` vectors the hardware bound is ``8 m`` cycles
+    (7 comparisons + 1 norm per vector for a 2x2x2 block); the trace
+    records the comparisons actually performed (pruned neighbours skip).
+    """
+    norms = sum(trace.tile_lengths)
+    return trace.sic_comparisons + norms
+
+
+def scatter_cycles(trace: ModelTrace, accumulators: int = 64) -> int:
+    """Scatter accumulation occupancy with ``accumulators`` lanes."""
+    if accumulators < 1:
+        raise ValueError("need at least one accumulator")
+    total = sum(g.scatter_ops for g in trace.gemms)
+    return -(-total // accumulators)
+
+
+def focus_unit_activity(
+    trace: ModelTrace,
+    rows: int = 32,
+    cols: int = 32,
+    lanes: int = 32,
+    accumulators: int = 64,
+    compute_cycles: int | None = None,
+) -> FocusUnitActivity:
+    """Aggregate occupancy, exposure and energy of the Focus Unit.
+
+    Args:
+        trace: Executed model trace.
+        rows: PE-array height.
+        cols: PE-array width.
+        lanes: Sorter lanes (= max units).
+        accumulators: Scatter accumulator lanes.
+        compute_cycles: Total GEMM cycles of the run; when given, the
+            matcher/scatter exposure is the residue beyond the GEMM
+            time they overlap.
+
+    Returns:
+        Activity record; ``exposed_cycles`` is what the critical path
+        actually pays.
+    """
+    sorter = sec_sorter_cycles(trace.sec_events, lanes)
+    sorter_cover = sec_attention_cycles(trace.sec_events, trace, rows, cols)
+    matcher = sic_matcher_cycles(trace)
+    scatter = scatter_cycles(trace, accumulators)
+
+    exposed = max(0, sorter - sorter_cover)
+    if compute_cycles is not None:
+        exposed += max(0, matcher - compute_cycles)
+        exposed += max(0, scatter - compute_cycles)
+
+    energy = (
+        trace.sic_comparisons * MATCHER_OPS_PER_COMPARISON * E_MAC_FP16_PJ
+        + sum(trace.tile_lengths) * NORM_OPS_PER_VECTOR * E_MAC_FP16_PJ
+        + sorter * E_CMP_PJ
+        + sum(g.scatter_ops for g in trace.gemms) * E_ACC_FP32_PJ
+    ) * 1e-12
+    return FocusUnitActivity(
+        sorter_cycles=sorter,
+        matcher_cycles=matcher,
+        scatter_cycles=scatter,
+        exposed_cycles=exposed,
+        energy_j=energy,
+    )

@@ -1,0 +1,171 @@
+"""Replaying measured sparsity patterns at the paper's model scale.
+
+The algorithm runs on a width-reduced synthetic VLM (hidden 192 vs the
+paper's 3584; ~400 tokens vs ~6,400).  Relative sparsity is faithful,
+but absolute hardware behaviour is not: a 32x32 array's fill/drain
+overhead is disproportionate on tiny GEMMs, and weight traffic is a
+different fraction of total bytes.  The paper's own methodology
+separates the two concerns — accuracy on the GPU, cycles from traces —
+so for the hardware experiments (Figs. 9, 12) we *rescale* each trace's
+GEMM dimensions to the 7B geometry while preserving every measured
+sparsity ratio (unique-vector fractions, retained-token fractions,
+metadata proportions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.trace import GemmTrace, ModelTrace, SecEvent
+
+PAPER_HIDDEN = 3584
+"""Qwen2-7B hidden size (the paper's evaluation backbones)."""
+
+PAPER_VISUAL_TOKENS = 6272
+"""Average visual tokens per sample (Sec. II-A, VideoMME)."""
+
+PAPER_TEXT_TOKENS = 109
+"""Average text tokens per sample (Sec. II-A)."""
+
+_DIM_KIND = {
+    # (m, k, n) of each GEMM site: "t" scales with tokens, "h" with
+    # hidden width (FFN width scales with hidden too).
+    "qkv": ("t", "h", "h"),
+    "qk": ("t", "h", "t"),
+    "pv": ("t", "t", "h"),
+    "o_proj": ("t", "h", "h"),
+    "fc1": ("t", "h", "h"),
+    "fc2": ("t", "h", "h"),
+}
+
+
+@dataclass(frozen=True)
+class ScaleFactors:
+    """Multipliers taking a synthetic trace to paper-scale geometry."""
+
+    token: float
+    hidden: float
+
+    @classmethod
+    def for_sample(
+        cls,
+        sample_tokens: int,
+        model_hidden: int,
+        target_tokens: int | None = None,
+    ) -> "ScaleFactors":
+        if target_tokens is None:
+            target_tokens = PAPER_VISUAL_TOKENS + PAPER_TEXT_TOKENS
+        return cls(
+            token=target_tokens / max(sample_tokens, 1),
+            hidden=PAPER_HIDDEN / max(model_hidden, 1),
+        )
+
+
+def _scale_dim(value: int, kind: str, factors: ScaleFactors) -> int:
+    factor = factors.token if kind == "t" else factors.hidden
+    return max(1, int(round(value * factor)))
+
+
+def scale_gemm(gemm: GemmTrace, factors: ScaleFactors) -> GemmTrace:
+    """Scale one GEMM record, preserving its sparsity ratios."""
+    kinds = _DIM_KIND.get(gemm.name, ("t", "h", "h"))
+    m = _scale_dim(gemm.m, kinds[0], factors)
+    k = _scale_dim(gemm.k, kinds[1], factors)
+    n = _scale_dim(gemm.n, kinds[2], factors)
+
+    input_unique = gemm.input_unique
+    scatter_ops = gemm.scatter_ops
+    input_map_bits = gemm.input_map_bits
+    output_rows = gemm.output_compressed_rows
+    output_map_bits = gemm.output_map_bits
+    if input_unique is not None:
+        # Vector count scales with rows x k-blocks; the unique fraction
+        # is the measured quantity and is preserved exactly.
+        old_vectors = gemm.m * gemm.k_blocks
+        new_k_blocks = max(1, -(-k // gemm.vector_size))
+        new_vectors = m * new_k_blocks
+        fraction = input_unique / max(old_vectors, 1)
+        input_unique = max(1, int(round(fraction * new_vectors)))
+        input_map_bits = int(round(
+            input_map_bits * new_vectors / max(old_vectors, 1)
+        ))
+        scatter_ops = m * n * new_k_blocks
+    if output_rows is not None:
+        old_vectors = gemm.m * gemm.k_blocks
+        out_fraction = output_rows / max(old_vectors, 1)
+        new_out_blocks = max(1, -(-n // gemm.vector_size))
+        output_rows = max(1, int(round(out_fraction * m * new_out_blocks)))
+        output_map_bits = int(round(
+            output_map_bits * (m * new_out_blocks) / max(old_vectors, 1)
+        ))
+    return GemmTrace(
+        name=gemm.name,
+        layer=gemm.layer,
+        m=m,
+        k=k,
+        n=n,
+        input_unique=input_unique,
+        vector_size=gemm.vector_size,
+        input_map_bits=input_map_bits,
+        output_compressed_rows=output_rows,
+        output_map_bits=output_map_bits,
+        scatter_ops=scatter_ops,
+    )
+
+
+def scale_trace(trace: ModelTrace, factors: ScaleFactors) -> ModelTrace:
+    """Scale a whole per-sample trace to paper geometry."""
+    scaled = ModelTrace(
+        gemms=[scale_gemm(g, factors) for g in trace.gemms],
+        tile_lengths=list(trace.tile_lengths),
+        tokens_per_layer=[
+            max(1, int(round(t * factors.token)))
+            for t in trace.tokens_per_layer
+        ],
+        metadata_bits=int(round(
+            trace.metadata_bits * factors.token * factors.hidden
+        )),
+        preprocess_macs=int(round(
+            trace.preprocess_macs * factors.token * factors.hidden
+        )),
+        sec_events=[
+            SecEvent(
+                layer=e.layer,
+                candidates=max(1, int(round(e.candidates * factors.token))),
+                selected=max(1, int(round(e.selected * factors.token))),
+            )
+            for e in trace.sec_events
+        ],
+        sic_comparisons=int(round(
+            trace.sic_comparisons * factors.token * factors.hidden
+        )),
+        initial_tokens=max(1, int(round(
+            trace.initial_tokens * factors.token
+        ))),
+    )
+    return scaled
+
+
+PAPER_IMAGE_TOKENS = 729
+"""Single-image visual tokens of the paper's image-VLM runs
+(Table V; one 27x27 patch grid)."""
+
+
+def scale_to_paper(
+    trace: ModelTrace,
+    model_hidden: int,
+    target_tokens: int | None = None,
+) -> ModelTrace:
+    """Convenience: scale one per-sample trace to the 7B geometry.
+
+    Args:
+        trace: Per-sample trace (NOT a merged multi-sample trace; the
+            restoration accounting needs per-sample token counts).
+        model_hidden: Hidden size the trace was generated at.
+        target_tokens: Paper-scale token count; defaults to the video
+            workload (6272 visual + 109 text).
+    """
+    factors = ScaleFactors.for_sample(
+        trace.initial_tokens, model_hidden, target_tokens
+    )
+    return scale_trace(trace, factors)

@@ -1,0 +1,207 @@
+"""Layer-wise execution traces.
+
+The paper's evaluation methodology (Sec. VII-A) generates *layer-wise
+sparse traces* from the PyTorch algorithm run and feeds them to a
+SCALEsim-based cycle-accurate simulator.  This module defines that
+interface: every GEMM the model executes is recorded as a
+:class:`GemmTrace`, and a :class:`ModelTrace` aggregates one forward
+pass.  The simulator (:mod:`repro.accel.simulator`) consumes traces
+without ever touching model internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+BYTES_PER_ELEMENT = 2
+"""FP16 operand width used throughout the accelerator (Table I)."""
+
+
+@dataclass
+class GemmTrace:
+    """One executed GEMM, with optional concentration annotations.
+
+    A dense GEMM computes ``m x k @ k x n``.  When the similarity
+    concentrator (SIC) compresses the input, the ``k`` dimension is
+    split into ``k_blocks`` blocks of ``vector_size`` columns and only
+    ``input_unique`` total vectors (summed over blocks and m-tiles)
+    enter the PE array; ``scatter_ops`` accumulations reconstruct the
+    full output.
+
+    Attributes:
+        name: Site of the GEMM (``qkv``, ``qk``, ``pv``, ``o_proj``,
+            ``fc1``, ``fc2``).
+        layer: Transformer layer index.
+        m: Output rows (tokens actually processed).
+        k: Inner dimension.
+        n: Output columns.
+        input_unique: Total unique input vectors over all
+            (m-tile, k-block) pairs after similarity gathering, or
+            ``None`` when the input is dense.
+        vector_size: Sub-token vector length used by the gather.
+        input_map_bits: Similarity-map metadata accompanying the
+            compressed input.
+        output_compressed_rows: Unique output vectors written back to
+            DRAM (set by the consumer-side gather), or ``None`` when
+            the output is stored dense.
+        output_map_bits: Metadata bits for the compressed output.
+        scatter_ops: FP32 accumulations performed by the similarity
+            scatter for this GEMM.
+    """
+
+    name: str
+    layer: int
+    m: int
+    k: int
+    n: int
+    input_unique: int | None = None
+    vector_size: int = 32
+    input_map_bits: int = 0
+    output_compressed_rows: int | None = None
+    output_map_bits: int = 0
+    scatter_ops: int = 0
+
+    @property
+    def k_blocks(self) -> int:
+        """Number of vector-granular blocks along the k dimension."""
+        return max(1, -(-self.k // self.vector_size))
+
+    @property
+    def dense_macs(self) -> int:
+        """MACs a dense execution of this GEMM would need."""
+        return self.m * self.k * self.n
+
+    @property
+    def macs(self) -> int:
+        """MACs actually executed on the PE array."""
+        if self.input_unique is None:
+            return self.dense_macs
+        return self.input_unique * self.vector_size * self.n
+
+    @property
+    def input_bytes(self) -> int:
+        """Activation bytes read for this GEMM (compressed if gathered)."""
+        if self.input_unique is None:
+            return self.m * self.k * BYTES_PER_ELEMENT
+        payload = self.input_unique * self.vector_size * BYTES_PER_ELEMENT
+        return payload + -(-self.input_map_bits // 8)
+
+    @property
+    def weight_bytes(self) -> int:
+        """Weight bytes streamed from DRAM (once per layer execution)."""
+        return self.k * self.n * BYTES_PER_ELEMENT
+
+    @property
+    def output_bytes(self) -> int:
+        """Activation bytes written back (compressed if gathered)."""
+        if self.output_compressed_rows is None:
+            return self.m * self.n * BYTES_PER_ELEMENT
+        payload = (
+            self.output_compressed_rows * self.vector_size * BYTES_PER_ELEMENT
+        )
+        return payload + -(-self.output_map_bits // 8)
+
+
+@dataclass(frozen=True)
+class SecEvent:
+    """One semantic-pruning invocation, for sorter-cycle modelling.
+
+    Attributes:
+        layer: Layer at which the top-k selection ran.
+        candidates: Image tokens entering the sorter (``M``).
+        selected: Tokens retained (``k``).
+    """
+
+    layer: int
+    candidates: int
+    selected: int
+
+
+@dataclass
+class ModelTrace:
+    """Trace of one full forward pass.
+
+    Attributes:
+        gemms: Every GEMM executed, in execution order.
+        tile_lengths: Concentrated vector count of every
+            (m-tile, k-block) gather invocation; this is the histogram
+            of Fig. 13.
+        tile_rows: Row count of the tile behind each ``tile_lengths``
+            entry (for normalizing to paper-scale 1024-row tiles).
+        tokens_per_layer: Token count entering each layer (after any
+            semantic pruning); drives Fig. 12's activation-size bars.
+        metadata_bits: Total offset-encoding + similarity-map bits
+            produced during the pass.
+        preprocess_macs: Extra operations spent by the method itself
+            (codec search, merging, importance estimation) outside the
+            model GEMMs.
+        sec_events: Semantic-pruning invocations (sorter occupancy).
+        sic_comparisons: Total pairwise vector comparisons performed by
+            the similarity matcher (matcher occupancy).
+        initial_tokens: Token count (image + text) before any
+            compression; baselines that restore full outputs are
+            charged write-back traffic at this width.
+    """
+
+    gemms: list[GemmTrace] = field(default_factory=list)
+    tile_lengths: list[int] = field(default_factory=list)
+    tile_rows: list[int] = field(default_factory=list)
+    tokens_per_layer: list[int] = field(default_factory=list)
+    metadata_bits: int = 0
+    preprocess_macs: int = 0
+    sec_events: list[SecEvent] = field(default_factory=list)
+    sic_comparisons: int = 0
+    initial_tokens: int = 0
+
+    def add(self, gemm: GemmTrace) -> GemmTrace:
+        """Append a GEMM record and return it (for later annotation)."""
+        self.gemms.append(gemm)
+        return gemm
+
+    @property
+    def total_macs(self) -> int:
+        return sum(g.macs for g in self.gemms) + self.preprocess_macs
+
+    @property
+    def dense_macs(self) -> int:
+        return sum(g.dense_macs for g in self.gemms)
+
+    @property
+    def total_scatter_ops(self) -> int:
+        return sum(g.scatter_ops for g in self.gemms)
+
+    @property
+    def activation_read_bytes(self) -> int:
+        return sum(g.input_bytes for g in self.gemms)
+
+    @property
+    def activation_write_bytes(self) -> int:
+        return sum(g.output_bytes for g in self.gemms)
+
+    @property
+    def weight_bytes(self) -> int:
+        return sum(g.weight_bytes for g in self.gemms)
+
+    def merge(self, other: "ModelTrace") -> None:
+        """Fold another trace into this one (multi-sample aggregation)."""
+        self.gemms.extend(other.gemms)
+        self.tile_lengths.extend(other.tile_lengths)
+        self.tile_rows.extend(other.tile_rows)
+        self.tokens_per_layer.extend(other.tokens_per_layer)
+        self.metadata_bits += other.metadata_bits
+        self.preprocess_macs += other.preprocess_macs
+        self.sec_events.extend(other.sec_events)
+        self.sic_comparisons += other.sic_comparisons
+        self.initial_tokens += other.initial_tokens
+
+
+def sparsity_vs_dense(trace: ModelTrace) -> float:
+    """Computation sparsity as defined in Sec. VII-B.
+
+    The fraction of dense-model operations *avoided* by the method:
+    ``1 - ops(method) / ops(dense)``.
+    """
+    dense = trace.dense_macs
+    if dense == 0:
+        return 0.0
+    return 1.0 - trace.total_macs / dense

@@ -1,0 +1,26 @@
+"""Baseline methods: FrameFusion, AdapTiV, CMC, dense, GPU roofline."""
+
+from repro.baselines.adaptiv import AdapTiVPlugin, sign_agreement
+from repro.baselines.cmc import CMCPlugin
+from repro.baselines.dense import DensePlugin
+from repro.baselines.framefusion import FrameFusionPlugin
+from repro.baselines.gpu import (
+    A100,
+    JETSON_ORIN_NANO,
+    GpuSimResult,
+    GpuSpec,
+    simulate_gpu,
+)
+
+__all__ = [
+    "AdapTiVPlugin",
+    "sign_agreement",
+    "CMCPlugin",
+    "DensePlugin",
+    "FrameFusionPlugin",
+    "A100",
+    "JETSON_ORIN_NANO",
+    "GpuSimResult",
+    "GpuSpec",
+    "simulate_gpu",
+]

@@ -1,0 +1,77 @@
+"""AdapTiV baseline (Yoo et al., MICRO 2024).
+
+AdapTiV is a ViT accelerator that merges *spatially adjacent* tokens
+using a lightweight sign-bit similarity check: two embeddings whose
+element signs mostly agree are deemed redundant and averaged.  It
+operates on static images (intra-frame only), processes whole tokens,
+and runs before the transformer stack.  The paper extends it to VLMs
+by applying the merge to every frame independently and excluding text
+tokens; we implement that extension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.plugins import InferencePlugin
+from repro.model.vlm import TokenState
+
+
+def sign_agreement(a: np.ndarray, b: np.ndarray) -> float:
+    """Fraction of elements whose signs agree (the AdapTiV metric)."""
+    a = np.asarray(a).ravel()
+    b = np.asarray(b).ravel()
+    if a.shape != b.shape:
+        raise ValueError("sign agreement needs equal-length vectors")
+    return float(np.mean(np.sign(a) == np.sign(b)))
+
+
+class AdapTiVPlugin(InferencePlugin):
+    """Sign-similarity intra-frame token merging at model entry."""
+
+    def __init__(self, threshold: float = 0.80, rounds: int = 2) -> None:
+        """Create an AdapTiV plugin.
+
+        Args:
+            threshold: Sign-agreement fraction above which the current
+                token merges into its left neighbour.
+            rounds: Merge passes (each pass halves at most).
+        """
+        if not 0.5 <= threshold <= 1.0:
+            raise ValueError("threshold must lie in [0.5, 1]")
+        self.threshold = threshold
+        self.rounds = rounds
+
+    def on_visual_tokens(self, state: TokenState) -> None:
+        hidden = state.hidden
+        positions = state.positions
+        comparisons = 0
+        drop = np.zeros(state.num_tokens, dtype=bool)
+        merged_into = np.arange(state.num_tokens)
+
+        for _ in range(self.rounds):
+            # Raster-order pass per frame: compare each surviving token
+            # with the nearest surviving token to its left in the same
+            # row (AdapTiV pairs neighbours; holes skip ahead).
+            last_seen: dict[tuple[int, int], int] = {}
+            for idx in np.nonzero(~state.is_text & ~drop)[0]:
+                frame, row, col = (int(v) for v in positions[idx])
+                key = (frame, row)
+                prev = last_seen.get(key)
+                last_seen[key] = int(idx)
+                if prev is None:
+                    continue
+                comparisons += 1
+                if sign_agreement(hidden[idx], hidden[prev]) > self.threshold:
+                    root = int(merged_into[prev])
+                    hidden[root] = 0.5 * (hidden[root] + hidden[idx])
+                    merged_into[idx] = root
+                    drop[idx] = True
+                    last_seen[key] = root
+
+        # Sign comparisons are 1-bit ops; count them in MAC-equivalents
+        # at 1/16 cost (16-bit datapath).
+        state.trace.preprocess_macs += comparisons * hidden.shape[1] // 16
+        if drop.any():
+            state.hidden = hidden
+            state.apply_keep(~drop)

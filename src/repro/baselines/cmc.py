@@ -1,0 +1,95 @@
+"""CMC baseline (Song et al., ASPLOS 2024).
+
+CMC accelerates video transformers with a codec-assisted matrix
+condensing unit: an H.264-style block-matching search finds, for every
+token of frame ``f``, the best-matching token within a small spatial
+search window of frame ``f-1``; sufficiently similar tokens are
+*condensed* out of the GEMMs and restored from their reference
+afterwards.  The search operates on raw content (the codec sees
+pixels, not positional embeddings), at whole-token granularity, and
+globally over the sequence — the three properties the Focus paper
+contrasts against.
+
+Our port runs the same search over the content sub-spaces of the
+synthetic patch embeddings (object + attribute + texture; the
+positional sub-space is excluded exactly because a codec never sees
+it), then drops condensed tokens for the whole LLM run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.embedding import SubspaceLayout
+from repro.model.plugins import InferencePlugin
+from repro.model.vlm import TokenState
+
+
+class CMCPlugin(InferencePlugin):
+    """Codec-style inter-frame token condensing at model entry."""
+
+    def __init__(
+        self,
+        layout: SubspaceLayout,
+        threshold: float = 0.55,
+        search_range: int = 1,
+    ) -> None:
+        """Create a CMC plugin.
+
+        Args:
+            layout: Hidden-dimension layout (to exclude positional dims
+                from the codec's view).
+            threshold: Content cosine above which a token is condensed
+                into its reference.
+            search_range: Spatial search radius (patches) in the
+                previous frame, mirroring codec motion search.
+        """
+        if search_range < 0:
+            raise ValueError("search_range must be >= 0")
+        self.layout = layout
+        self.threshold = threshold
+        self.search_range = search_range
+
+    def _content(self, hidden: np.ndarray) -> np.ndarray:
+        """The codec's view: everything except the positional code."""
+        pos = self.layout.position_slice
+        return np.concatenate(
+            [hidden[:, : pos.start], hidden[:, pos.stop:]], axis=1
+        )
+
+    def on_visual_tokens(self, state: TokenState) -> None:
+        content = self._content(state.hidden)
+        norms = np.linalg.norm(content, axis=1)
+        positions = state.positions
+        lookup: dict[tuple[int, int, int], int] = {}
+        for idx in np.nonzero(~state.is_text)[0]:
+            frame, row, col = (int(v) for v in positions[idx])
+            lookup[(frame, row, col)] = int(idx)
+
+        drop = np.zeros(state.num_tokens, dtype=bool)
+        comparisons = 0
+        span = range(-self.search_range, self.search_range + 1)
+        for (frame, row, col), idx in sorted(lookup.items()):
+            if frame == 0:
+                continue
+            best_sim, best_ref = -1.0, -1
+            for dr in span:
+                for dc in span:
+                    ref = lookup.get((frame - 1, row + dr, col + dc))
+                    if ref is None or drop[ref]:
+                        continue
+                    comparisons += 1
+                    denominator = norms[idx] * norms[ref]
+                    if denominator < 1e-12:
+                        continue
+                    sim = float(content[idx] @ content[ref]) / denominator
+                    if sim > best_sim:
+                        best_sim, best_ref = sim, ref
+            if best_ref >= 0 and best_sim > self.threshold:
+                # Condense: the token drops out of every GEMM and is
+                # restored from its reference at the output.
+                drop[idx] = True
+
+        state.trace.preprocess_macs += comparisons * content.shape[1]
+        if drop.any():
+            state.apply_keep(~drop)

@@ -1,0 +1,9 @@
+"""Dense baseline: the vanilla systolic-array execution (no compression)."""
+
+from __future__ import annotations
+
+from repro.model.plugins import InferencePlugin
+
+
+class DensePlugin(InferencePlugin):
+    """Explicit no-op plugin, for symmetric method registries."""

@@ -1,0 +1,108 @@
+"""Command-line interface: regenerate any paper experiment.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli table2 --samples 8
+    python -m repro.cli fig9 --samples 4
+    python -m repro.cli fig10a fig10b --samples 2
+
+Each experiment prints the paper-style rows produced by
+:mod:`repro.eval.reporting`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.eval import experiments as exp
+from repro.eval import reporting as rep
+
+EXPERIMENTS: dict[str, tuple[Callable, Callable, str]] = {
+    "table2": (exp.table2, rep.format_table2,
+               "accuracy and sparsity of all methods (Table II)"),
+    "table3": (exp.table3, rep.format_table3,
+               "architecture config comparison (Table III)"),
+    "table4": (exp.table4, rep.format_table4,
+               "INT8 quantization synergy (Table IV)"),
+    "table5": (exp.table5, rep.format_table5,
+               "image-VLM generalization (Table V)"),
+    "fig2b": (exp.fig2b, rep.format_fig2b,
+              "similarity CDF vs vector size (Fig. 2b)"),
+    "fig2c": (exp.fig2c, rep.format_fig2c,
+              "sparsity/accuracy bars (Fig. 2c)"),
+    "fig9": (exp.fig9, rep.format_fig9,
+             "speedup + energy vs baselines (Fig. 9)"),
+    "fig10a": (exp.fig10a,
+               lambda p: rep.format_sweep("FIG 10(a): m-tile size", p),
+               "DSE: GEMM m-tile size (Fig. 10a)"),
+    "fig10b": (exp.fig10b,
+               lambda p: rep.format_sweep("FIG 10(b): vector size", p),
+               "DSE: vector size (Fig. 10b)"),
+    "fig10c": (exp.fig10c,
+               lambda p: rep.format_sweep("FIG 10(c): block size", p),
+               "DSE: SIC block size (Fig. 10c)"),
+    "fig10d": (exp.fig10d,
+               lambda p: rep.format_sweep("FIG 10(d): accumulators", p),
+               "DSE: scatter accumulators (Fig. 10d)"),
+    "fig11": (exp.fig11, rep.format_fig11, "ablation study (Fig. 11)"),
+    "fig12": (exp.fig12, rep.format_fig12, "memory access (Fig. 12)"),
+    "fig13": (exp.fig13, rep.format_fig13,
+              "tile lengths + utilization (Fig. 13)"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Regenerate experiments from the Focus paper.",
+    )
+    parser.add_argument(
+        "experiments", nargs="+",
+        help="experiment names (or 'list' / 'all')",
+    )
+    parser.add_argument(
+        "--samples", type=int, default=None,
+        help="samples per evaluation cell (default: driver default)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="experiment seed",
+    )
+    return parser
+
+
+def run_experiment(name: str, samples: int | None, seed: int) -> str:
+    driver, formatter, _ = EXPERIMENTS[name]
+    kwargs: dict = {"seed": seed}
+    if samples is not None:
+        kwargs["num_samples"] = samples
+    result = driver(**kwargs)
+    return formatter(result)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = list(args.experiments)
+    if names == ["list"]:
+        for name, (_, _, description) in EXPERIMENTS.items():
+            print(f"  {name:10s} {description}")
+        return 0
+    if names == ["all"]:
+        names = list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; try 'list'",
+              file=sys.stderr)
+        return 2
+    for name in names:
+        start = time.time()
+        print(run_experiment(name, args.samples, args.seed))
+        print(f"[{name} done in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

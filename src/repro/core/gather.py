@@ -1,0 +1,195 @@
+"""Similarity Gather: per-GEMM-tile vector deduplication (Sec. VI-A).
+
+The gather walks the token stream in m-tiles (Table I: ``m = 1024``),
+splits each tile's rows into k-blocks of ``vector_size`` columns, and
+runs the streaming matcher within spatiotemporal comparison blocks.
+Matching never crosses a tile boundary — the property behind the
+Fig. 10(a) tile-size/latency trade-off — and text tokens (which have no
+FHW position) are always stored as unique.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import FocusConfig
+from repro.core.blocks import build_neighbor_table, comparisons_in_table
+from repro.core.matching import SimilarityMatcher
+
+
+@dataclass
+class GatherResult:
+    """Outcome of gathering one GEMM input matrix.
+
+    Attributes:
+        x_approx: The input with every redundant vector replaced by its
+            representative's value (what the scatter reconstructs).
+        reps: Global representative row per ``(k_block, row)``; a row
+            maps to itself when unique.
+        vector_size: Effective vector length used.
+        unique_total: Total unique vectors over all (tile, k-block).
+        total_vectors: Vector count before concentration.
+        tile_lengths: Unique count per (tile, k-block) — Fig. 13 data.
+        tile_rows: Row count of the tile each entry came from (for
+            normalizing tile lengths to paper-scale tiles).
+        map_bits: Similarity-map metadata bits.
+        comparisons: Pairwise comparisons performed by the matcher.
+    """
+
+    x_approx: np.ndarray
+    reps: np.ndarray
+    vector_size: int
+    unique_total: int
+    total_vectors: int
+    tile_lengths: list[int] = field(default_factory=list)
+    tile_rows: list[int] = field(default_factory=list)
+    map_bits: int = 0
+    comparisons: int = 0
+
+    @property
+    def compression_ratio(self) -> float:
+        """Original vectors per stored vector (>= 1)."""
+        if self.unique_total == 0:
+            return 1.0
+        return self.total_vectors / self.unique_total
+
+
+class SimilarityGather:
+    """Tile-local vector deduplication engine."""
+
+    def __init__(
+        self, config: FocusConfig, token_wise: bool = False
+    ) -> None:
+        """Create a gather engine.
+
+        Args:
+            config: Focus hyper-parameters (tile size, block shape,
+                vector length, threshold).
+            token_wise: When ``True``, compare whole tokens instead of
+                sub-vectors (the "Ours token-wise" ablation of
+                Fig. 2(c)).
+        """
+        self.config = config
+        self.token_wise = token_wise
+        self.matcher = SimilarityMatcher(config.similarity_threshold)
+        self._table_cache: dict[tuple, np.ndarray] = {}
+
+    def _neighbor_table(
+        self,
+        positions: np.ndarray,
+        is_text: np.ndarray,
+        grid: tuple[int, int, int],
+        tile: tuple[int, int],
+        cache_token: object | None,
+    ) -> np.ndarray:
+        """Partner table for the rows of one tile.
+
+        Text rows receive no partners.  Tables are cached per
+        ``(cache_token, tile)`` because the token set only changes at
+        semantic-pruning layers.
+        """
+        key = (cache_token, tile)
+        if cache_token is not None and key in self._table_cache:
+            return self._table_cache[key]
+
+        start, stop = tile
+        rows = stop - start
+        tile_text = np.asarray(is_text[start:stop], dtype=bool)
+        image_local = np.nonzero(~tile_text)[0]
+        table = np.full(
+            (rows, max(1, self._num_offsets())), -1, dtype=np.int64
+        )
+        if image_local.size:
+            image_positions = positions[start:stop][image_local]
+            image_table = build_neighbor_table(
+                image_positions, grid, self._block()
+            )
+            remap = image_local  # local-image index -> tile-row index
+            expanded = np.where(image_table >= 0, remap[image_table], -1)
+            table[image_local, : expanded.shape[1]] = expanded
+
+        if cache_token is not None:
+            self._table_cache[key] = table
+        return table
+
+    def _block(self) -> tuple[int, int, int]:
+        cfg = self.config
+        return (cfg.block_frames, cfg.block_height, cfg.block_width)
+
+    def _num_offsets(self) -> int:
+        return self.config.block_size - 1
+
+    def gather(
+        self,
+        x: np.ndarray,
+        positions: np.ndarray,
+        is_text: np.ndarray,
+        grid: tuple[int, int, int],
+        cache_token: object | None = None,
+    ) -> GatherResult:
+        """Concentrate a GEMM input matrix.
+
+        Args:
+            x: Input of shape ``(tokens, k)`` in token-stream order.
+            positions: ``(tokens, 3)`` FHW coordinates (text rows hold
+                the sentinel and are skipped).
+            is_text: Text mask.
+            grid: Full FHW grid of the video.
+            cache_token: Hashable key identifying the current token
+                set; enables neighbor-table reuse across gather sites.
+
+        Returns:
+            A :class:`GatherResult`; ``x_approx`` is bit-identical to
+            scattering the concentrated GEMM (see
+            :mod:`repro.core.scatter`).
+        """
+        x = np.asarray(x, dtype=np.float32)
+        num_rows, k = x.shape
+        vector_size = k if self.token_wise else min(self.config.vector_size, k)
+        blocks = self.matcher.split_blocks(x, vector_size)
+        num_blocks = blocks.shape[1]
+
+        reps_global = np.tile(
+            np.arange(num_rows, dtype=np.int64), (num_blocks, 1)
+        )
+        tile_lengths: list[int] = []
+        tile_rows: list[int] = []
+        comparisons = 0
+        m_tile = self.config.m_tile
+        for start in range(0, num_rows, m_tile):
+            stop = min(start + m_tile, num_rows)
+            table = self._neighbor_table(
+                positions, is_text, grid, (start, stop), cache_token
+            )
+            outcome = self.matcher.match_tile(blocks[start:stop], table)
+            reps_global[:, start:stop] = outcome.reps + start
+            counts = outcome.unique_counts()
+            tile_lengths.extend(int(c) for c in counts)
+            tile_rows.extend([stop - start] * len(counts))
+            comparisons += outcome.comparisons
+
+        unique_total = sum(tile_lengths)
+        total_vectors = num_rows * num_blocks
+        map_bits = total_vectors * max(
+            1, int(np.ceil(np.log2(max(2, min(m_tile, num_rows)))))
+        )
+
+        x_approx = np.empty_like(x)
+        for b in range(num_blocks):
+            col0 = b * vector_size
+            col1 = min(col0 + vector_size, k)
+            x_approx[:, col0:col1] = x[reps_global[b], col0:col1]
+
+        return GatherResult(
+            x_approx=x_approx,
+            reps=reps_global,
+            vector_size=vector_size,
+            unique_total=unique_total,
+            total_vectors=total_vectors,
+            tile_lengths=tile_lengths,
+            tile_rows=tile_rows,
+            map_bits=map_bits,
+            comparisons=comparisons,
+        )

@@ -1,0 +1,127 @@
+"""Streaming cross-modal importance analyzer (Sec. V-A).
+
+For each image token ``j`` the SEC computes the maximum attention score
+it receives from any text token across all heads::
+
+    s_j = max_{1<=k<=n, 1<=i<=T} I^{(k)}_{i,j}
+
+where ``I`` is the text-to-image block of ``softmax(Q K^T)``.  The
+hardware realizes this with ``a`` parallel max units fed directly from
+the SoftMax output in either a *parallel (spatial)* or an *orthogonal
+(temporal)* dataflow; :class:`StreamingImportanceAnalyzer` models both
+and is verified equivalent to the closed-form reduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def importance_scores(
+    probs: np.ndarray, is_text: np.ndarray
+) -> np.ndarray:
+    """Closed-form cross-modal importance of every image token.
+
+    Args:
+        probs: Attention probabilities, shape ``(heads, S, S)``.
+        is_text: Boolean mask over the ``S`` tokens.
+
+    Returns:
+        Importance vector over the image tokens, in token order
+        (length ``S - T``).
+    """
+    probs = np.asarray(probs)
+    if probs.ndim != 3:
+        raise ValueError("probs must have shape (heads, S, S)")
+    is_text = np.asarray(is_text, dtype=bool)
+    if not is_text.any():
+        raise ValueError("importance requires at least one text token")
+    text_to_image = probs[:, is_text, :][:, :, ~is_text]
+    return text_to_image.max(axis=(0, 1))
+
+
+class StreamingImportanceAnalyzer:
+    """Hardware model of the ``a``-lane max-reduction pipeline.
+
+    The analyzer ingests the SoftMax output as it streams out of the
+    special function unit, ``lanes`` attention scores per cycle, and
+    maintains one running maximum per image token.  Both dataflows of
+    Fig. 5(2) are supported:
+
+    * ``parallel`` — columns (one row at a time) stream into the max
+      lanes; each chunk of ``lanes`` columns updates ``lanes`` running
+      maxima.
+    * ``orthogonal`` — rows are buffered and the reduction proceeds
+      column-wise.
+
+    Either way the result equals :func:`importance_scores`; tests
+    assert this equivalence, which is the property that lets the
+    hardware decouple the analyzer from the compute path.
+    """
+
+    def __init__(self, num_image_tokens: int, lanes: int = 32) -> None:
+        if num_image_tokens < 1:
+            raise ValueError("need at least one image token")
+        if lanes < 1:
+            raise ValueError("need at least one max lane")
+        self.lanes = lanes
+        self.running_max = np.full(num_image_tokens, -np.inf, dtype=np.float32)
+        self.cycles = 0
+
+    def consume_row(self, row: np.ndarray) -> None:
+        """Stream one text-to-image attention row (parallel dataflow)."""
+        row = np.asarray(row, dtype=np.float32)
+        if row.shape != self.running_max.shape:
+            raise ValueError("row length must equal the image-token count")
+        for start in range(0, row.shape[0], self.lanes):
+            chunk = slice(start, min(start + self.lanes, row.shape[0]))
+            self.running_max[chunk] = np.maximum(
+                self.running_max[chunk], row[chunk]
+            )
+            self.cycles += 1
+
+    def consume_columns(self, columns: np.ndarray) -> None:
+        """Stream buffered columns (orthogonal dataflow).
+
+        Args:
+            columns: Array of shape ``(T, width)`` holding ``width``
+                adjacent image-token columns over all text rows,
+                starting at the analyzer's current column cursor.
+        """
+        columns = np.asarray(columns, dtype=np.float32)
+        if columns.ndim != 2:
+            raise ValueError("columns must be 2-D (text rows x width)")
+        cursor = getattr(self, "_column_cursor", 0)
+        width = columns.shape[1]
+        if cursor + width > self.running_max.shape[0]:
+            raise ValueError("column stream exceeds the image-token count")
+        reduced = columns.max(axis=0)
+        self.running_max[cursor:cursor + width] = np.maximum(
+            self.running_max[cursor:cursor + width], reduced
+        )
+        self._column_cursor = cursor + width
+        self.cycles += columns.shape[0] * max(1, width // self.lanes)
+
+    def result(self) -> np.ndarray:
+        """Current importance estimate (running maxima)."""
+        return self.running_max.copy()
+
+    def analyze(self, text_to_image: np.ndarray) -> np.ndarray:
+        """Convenience: stream a whole ``(heads, T, M)`` block row-wise."""
+        block = np.asarray(text_to_image, dtype=np.float32)
+        if block.ndim == 2:
+            block = block[None]
+        for head in block:
+            for row in head:
+                self.consume_row(row)
+        return self.result()
+
+
+BUFFER_BYTES_PER_TOKEN = 2
+"""FP16 importance entry per image token (25 KB buffer in the paper's
+12.8k-token worst case)."""
+
+
+def importance_buffer_bytes(num_image_tokens: int) -> int:
+    """On-chip buffer footprint of the importance vector."""
+    return num_image_tokens * BUFFER_BYTES_PER_TOKEN

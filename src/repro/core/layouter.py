@@ -1,0 +1,118 @@
+"""Convolution-style layouter with conflict-free bank mapping (Sec. VI-B).
+
+Block-level similarity matching reads all ``f x h x w`` vectors of a
+sliding window in one cycle.  A naive SRAM layout would either incur
+bank conflicts or replicate data up to 8x (as some CNN accelerators
+do).  The paper's layouter instead maps every token deterministically
+to one of ``f*h*w`` banks by coordinate parity::
+
+    bank   = (frame mod 2) * 4 + (row mod 2) * 2 + (col mod 2)
+    offset = floor(row / 2) * ceil(W / 2) + floor(col / 2)
+
+(for the default 2x2x2 block), which guarantees the 8 vectors of any
+window live in 8 distinct banks.  This module implements the general
+``(bf, bh, bw)`` form and the conflict-freedom check the tests and the
+Fig. 10(c) block-size sweep rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BankAddress:
+    """A (bank, offset) physical placement of one token's vectors."""
+
+    bank: int
+    offset: int
+
+
+class ConvolutionLayouter:
+    """Deterministic token -> (bank, offset) placement.
+
+    Args:
+        block: ``(frames, height, width)`` of the comparison block.
+        frame_width: ``W`` of the visual grid, used by the offset
+            equation.
+    """
+
+    def __init__(self, block: tuple[int, int, int], frame_width: int) -> None:
+        bf, bh, bw = block
+        if min(bf, bh, bw) < 1:
+            raise ValueError("block dimensions must be >= 1")
+        if frame_width < 1:
+            raise ValueError("frame_width must be >= 1")
+        self.block = (bf, bh, bw)
+        self.frame_width = frame_width
+
+    @property
+    def num_banks(self) -> int:
+        """One bank per block cell: ``bf * bh * bw`` (8 for 2x2x2)."""
+        bf, bh, bw = self.block
+        return bf * bh * bw
+
+    def bank_of(self, frame: int, row: int, col: int) -> int:
+        """Bank index by coordinate parity (Fig. 7 equation)."""
+        bf, bh, bw = self.block
+        return (frame % bf) * (bh * bw) + (row % bh) * bw + (col % bw)
+
+    def offset_of(self, row: int, col: int) -> int:
+        """Within-bank word offset (Fig. 7 equation)."""
+        _, bh, bw = self.block
+        cols_per_bank = -(-self.frame_width // bw)
+        return (row // bh) * cols_per_bank + (col // bw)
+
+    def address(self, frame: int, row: int, col: int) -> BankAddress:
+        """Full physical address of one token."""
+        return BankAddress(
+            bank=self.bank_of(frame, row, col),
+            offset=self.offset_of(row, col),
+        )
+
+    def addresses(self, positions: np.ndarray) -> np.ndarray:
+        """Vectorized addressing of an ``(n, 3)`` position array.
+
+        Returns:
+            Integer array of shape ``(n, 2)`` holding (bank, offset).
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        bf, bh, bw = self.block
+        frame, row, col = positions[:, 0], positions[:, 1], positions[:, 2]
+        bank = (frame % bf) * (bh * bw) + (row % bh) * bw + (col % bw)
+        cols_per_bank = -(-self.frame_width // bw)
+        offset = (row // bh) * cols_per_bank + (col // bw)
+        return np.stack([bank, offset], axis=1)
+
+    def window_positions(
+        self, key: tuple[int, int, int]
+    ) -> list[tuple[int, int, int]]:
+        """All block positions whose *highest-index* corner is ``key``.
+
+        The key vector is the token with the largest FHW linear index in
+        its window (Sec. VI-A); its comparison partners sit at
+        ``(f - df, r - dr, c - dc)`` for all non-zero backward offsets.
+        """
+        bf, bh, bw = self.block
+        frame, row, col = key
+        return [
+            (frame - df, row - dr, col - dc)
+            for df in range(bf)
+            for dr in range(bh)
+            for dc in range(bw)
+        ]
+
+    def is_conflict_free(self, key: tuple[int, int, int]) -> bool:
+        """Whether the window at ``key`` touches each bank exactly once.
+
+        This is the property that lets the matcher read a whole block
+        in a single cycle with no data replication.
+        """
+        window = [
+            pos for pos in self.window_positions(key)
+            if pos[0] >= 0 and pos[1] >= 0 and pos[2] >= 0
+        ]
+        banks = [self.bank_of(*pos) for pos in window]
+        return len(banks) == len(set(banks))

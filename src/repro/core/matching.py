@@ -1,0 +1,131 @@
+"""Vector-wise streaming similarity matcher (Sec. VI-A).
+
+Tokens stream through the matcher in FHW order.  Each token's hidden
+state is split into length-``v`` vectors (one per k-block of the GEMM
+tile); for every k-block the key vector is compared, by cosine
+similarity, against the *stored* (already deduplicated) vectors of its
+comparison partners.  A similarity above the threshold replaces the
+vector with its partner's representative index — chaining through
+earlier matches exactly as the hardware's compact buffer does.
+
+L2 norms are precomputed once per token, so each comparison costs a
+single ``v``-wide dot product plus a few scalar ops, matching the
+single-dot-product-unit matcher of Fig. 6(3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+NORM_EPS = 1e-6
+"""Vectors with L2 norm below this are treated as exact zeros."""
+
+
+@dataclass
+class MatchOutcome:
+    """Result of matching one tile.
+
+    Attributes:
+        reps: Integer array of shape ``(num_blocks, n)``; entry
+            ``[b, i]`` is the local row index of the representative of
+            token ``i``'s ``b``-th vector (``i`` itself when unique).
+        comparisons: Pairwise vector comparisons performed.
+    """
+
+    reps: np.ndarray
+    comparisons: int
+
+    def unique_counts(self) -> np.ndarray:
+        """Unique-vector count per k-block (the concentrated tile
+        lengths of Fig. 13)."""
+        n = self.reps.shape[1]
+        own = np.arange(n)
+        return (self.reps == own[None, :]).sum(axis=1)
+
+
+class SimilarityMatcher:
+    """Streaming cosine matcher over padded k-block vectors."""
+
+    def __init__(self, threshold: float) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must lie in (0, 1]")
+        self.threshold = threshold
+
+    @staticmethod
+    def split_blocks(x: np.ndarray, vector_size: int) -> np.ndarray:
+        """Split ``(n, k)`` rows into zero-padded ``(n, B, v)`` blocks.
+
+        Zero padding leaves dot products and norms unchanged, so a
+        ragged final block behaves identically to the hardware's
+        shorter last vector.
+        """
+        x = np.asarray(x, dtype=np.float32)
+        n, k = x.shape
+        v = min(vector_size, k) if vector_size > 0 else k
+        num_blocks = -(-k // v)
+        padded = np.zeros((n, num_blocks * v), dtype=np.float32)
+        padded[:, :k] = x
+        return padded.reshape(n, num_blocks, v)
+
+    def match_tile(
+        self, blocks: np.ndarray, neighbor_table: np.ndarray
+    ) -> MatchOutcome:
+        """Run the streaming matcher over one tile.
+
+        Args:
+            blocks: ``(n, B, v)`` zero-padded vectors (see
+                :meth:`split_blocks`).
+            neighbor_table: ``(n, n_offsets)`` local partner indices,
+                ``-1`` for absent partners (from
+                :func:`repro.core.blocks.build_neighbor_table`); every
+                valid partner index is smaller than the key index.
+
+        Returns:
+            Representative assignments and comparison count.
+        """
+        blocks = np.asarray(blocks, dtype=np.float32)
+        n, num_blocks, _ = blocks.shape
+        table = np.asarray(neighbor_table, dtype=np.int64)
+        if table.shape[0] != n:
+            raise ValueError("neighbor table does not cover the tile")
+
+        norms = np.linalg.norm(blocks, axis=2)
+        reps = np.tile(np.arange(n, dtype=np.int64), (num_blocks, 1))
+        block_range = np.arange(num_blocks)
+        comparisons = 0
+
+        for i in range(n):
+            partners = table[i][table[i] >= 0]
+            if partners.size == 0:
+                continue
+            if (partners >= i).any():
+                raise ValueError("partner indices must precede the key")
+            # Stored values: each partner's vector was possibly replaced
+            # by its representative; compare against what the compact
+            # buffer actually holds.
+            partner_reps = reps[:, partners].T          # (m, B)
+            stored = blocks[partner_reps, block_range[None, :], :]  # (m, B, v)
+            stored_norms = norms[partner_reps, block_range[None, :]]
+            dots = np.einsum("mbv,bv->mb", stored, blocks[i])
+            denom = stored_norms * norms[i][None, :]
+            sims = np.where(
+                denom > NORM_EPS * NORM_EPS,
+                dots / np.maximum(denom, NORM_EPS * NORM_EPS),
+                # Two exact-zero vectors are identical; a zero against a
+                # non-zero is maximally dissimilar.
+                np.where(
+                    (stored_norms < NORM_EPS) & (norms[i][None, :] < NORM_EPS),
+                    1.0,
+                    0.0,
+                ),
+            )
+            comparisons += int(sims.size)
+            best = np.argmax(sims, axis=0)
+            best_sims = sims[best, block_range]
+            matched = best_sims > self.threshold
+            if matched.any():
+                chosen = partner_reps[best, block_range]
+                reps[matched, i] = chosen[matched]
+        return MatchOutcome(reps=reps, comparisons=comparisons)

@@ -1,0 +1,85 @@
+"""Localized offset encoding for retained-token positions (Sec. V-C).
+
+After semantic pruning, the convolution-style layouter must recover
+each retained token's (frame, row, col) coordinate.  Rather than
+storing absolute indices, the SEC's offset encoder streams a small
+delta per retained token — the gap to the previous retained token —
+which is lossless, cheap to decode in stream order, and compact enough
+to ride alongside the GEMM output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+DEFAULT_FIELD_BITS = 8
+"""Offset field width; gaps >= 2**bits spill into escape words."""
+
+
+def encode_offsets(indices: np.ndarray) -> np.ndarray:
+    """Encode sorted token indices as successive deltas.
+
+    The first delta is relative to index ``-1``, so all deltas are
+    strictly positive: the identity permutation encodes as all-ones.
+
+    Args:
+        indices: Strictly increasing original token indices.
+
+    Returns:
+        Array of positive deltas, same length as ``indices``.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    if indices.ndim != 1:
+        raise ValueError("indices must be 1-D")
+    if indices.size and indices[0] < 0:
+        raise ValueError("indices must be non-negative")
+    deltas = np.diff(indices, prepend=-1)
+    if indices.size and (deltas <= 0).any():
+        raise ValueError("indices must be strictly increasing")
+    return deltas
+
+
+def decode_offsets(deltas: np.ndarray) -> np.ndarray:
+    """Invert :func:`encode_offsets`."""
+    deltas = np.asarray(deltas, dtype=np.int64)
+    if deltas.ndim != 1:
+        raise ValueError("deltas must be 1-D")
+    if deltas.size and (deltas <= 0).any():
+        raise ValueError("deltas must be strictly positive")
+    return np.cumsum(deltas) - 1
+
+
+def offsets_to_positions(
+    indices: np.ndarray, grid: tuple[int, int, int]
+) -> np.ndarray:
+    """Expand linear token indices to (frame, row, col) coordinates.
+
+    Args:
+        indices: Linear indices in FHW order.
+        grid: ``(frames, height, width)`` of the visual token grid.
+
+    Returns:
+        Integer array of shape ``(len(indices), 3)``.
+    """
+    frames, height, width = grid
+    indices = np.asarray(indices, dtype=np.int64)
+    if indices.size and (indices >= frames * height * width).any():
+        raise ValueError("index outside the FHW grid")
+    frame = indices // (height * width)
+    rest = indices % (height * width)
+    return np.stack([frame, rest // width, rest % width], axis=1)
+
+
+def encoded_bits(deltas: np.ndarray, field_bits: int = DEFAULT_FIELD_BITS) -> int:
+    """Metadata size of an offset stream.
+
+    Each delta occupies one ``field_bits`` word; deltas that overflow
+    the field consume additional escape words (value ``0`` marking a
+    continuation), mirroring a fixed-width streaming encoder.
+    """
+    deltas = np.asarray(deltas, dtype=np.int64)
+    if field_bits < 2:
+        raise ValueError("field_bits must be >= 2")
+    capacity = (1 << field_bits) - 1
+    words = np.maximum(1, -(-deltas // capacity))
+    return int(words.sum()) * field_bits

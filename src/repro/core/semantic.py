@@ -1,0 +1,111 @@
+"""Semantic Concentrator (SEC): prompt-aware token pruning (Sec. V).
+
+At the schedule layers of Table I the SEC reads the text-to-image
+attention block, reduces it to a per-token importance score
+(:mod:`repro.core.importance`), selects the top-k image tokens
+(:mod:`repro.core.topk`), and emits offset encodings
+(:mod:`repro.core.offsets`) so downstream block matching can recover
+token coordinates.  Pruned tokens are excluded from the P(i) x V GEMM
+of the same layer and from every later layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accel.trace import SecEvent
+from repro.config import FocusConfig
+from repro.core.importance import importance_scores
+from repro.core.offsets import encode_offsets, encoded_bits
+from repro.core.topk import sorter_cycles, top_k_mask
+
+
+@dataclass(frozen=True)
+class PruneDecision:
+    """Outcome of one SEC invocation.
+
+    Attributes:
+        keep: Boolean mask over the *current* token set.
+        event: Sorter-occupancy record for the hardware simulator.
+        metadata_bits: Offset-encoding bits emitted for the retained
+            image tokens.
+    """
+
+    keep: np.ndarray
+    event: SecEvent
+    metadata_bits: int
+
+
+class SemanticConcentrator:
+    """Layer-scheduled prompt-aware token pruning."""
+
+    def __init__(self, config: FocusConfig, num_layers: int) -> None:
+        self.config = config
+        self.num_layers = num_layers
+        self.schedule = config.scaled_schedule(num_layers)
+
+    def target_tokens(self, layer_index: int, initial_image_tokens: int) -> int | None:
+        """Retained image-token budget at ``layer_index``, or ``None``.
+
+        Budgets are fractions of the *original* image-token count, as in
+        Table I ("retain 40%/30%/... of total image tokens").
+        """
+        ratio = self.schedule.get(layer_index)
+        if ratio is None:
+            return None
+        return max(1, int(round(ratio * initial_image_tokens)))
+
+    def prune(
+        self,
+        layer_index: int,
+        probs: np.ndarray,
+        is_text: np.ndarray,
+        initial_image_tokens: int,
+        grid_linear_index: np.ndarray,
+    ) -> PruneDecision | None:
+        """Decide which tokens survive this layer's pruning.
+
+        Args:
+            layer_index: Current layer.
+            probs: Attention probabilities ``(heads, S, S)``.
+            is_text: Text mask over the current ``S`` tokens.
+            initial_image_tokens: Original image-token count ``M``.
+            grid_linear_index: Linear FHW index of each current token
+                (text entries ignored), for offset encoding.
+
+        Returns:
+            A :class:`PruneDecision`, or ``None`` when this layer has
+            no schedule entry or the budget is already met.
+        """
+        budget = self.target_tokens(layer_index, initial_image_tokens)
+        if budget is None:
+            return None
+        is_text = np.asarray(is_text, dtype=bool)
+        num_image = int(np.count_nonzero(~is_text))
+        if num_image <= budget:
+            return None
+
+        scores = importance_scores(probs, is_text)
+        image_keep = top_k_mask(scores, budget)
+
+        keep = np.ones(is_text.shape[0], dtype=bool)
+        keep[~is_text] = image_keep
+
+        retained_linear = np.sort(
+            np.asarray(grid_linear_index)[~is_text][image_keep]
+        )
+        deltas = encode_offsets(retained_linear)
+        event = SecEvent(
+            layer=layer_index, candidates=num_image, selected=budget
+        )
+        return PruneDecision(
+            keep=keep, event=event, metadata_bits=encoded_bits(deltas)
+        )
+
+    def sorter_cycles_for(self, event: SecEvent) -> int:
+        """Streaming-sorter cycles for one pruning event."""
+        return sorter_cycles(
+            event.candidates, event.selected, self.config.max_sorter_lanes
+        )

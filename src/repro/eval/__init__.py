@@ -1,0 +1,35 @@
+"""Evaluation harness, experiment drivers, and paper-style reporting."""
+
+from repro.eval.metrics import (
+    EvalResult,
+    computation_sparsity,
+    dense_macs_for,
+)
+from repro.eval.runner import (
+    METHOD_REGISTRY,
+    PAPER_METHOD_NAMES,
+    ModelCache,
+    evaluate,
+    evaluate_samples,
+    make_plugin,
+)
+from repro.eval.statistics import (
+    PairedComparison,
+    paired_bootstrap,
+    sparsity_summary,
+)
+
+__all__ = [
+    "EvalResult",
+    "computation_sparsity",
+    "dense_macs_for",
+    "METHOD_REGISTRY",
+    "PAPER_METHOD_NAMES",
+    "ModelCache",
+    "evaluate",
+    "evaluate_samples",
+    "make_plugin",
+    "PairedComparison",
+    "paired_bootstrap",
+    "sparsity_summary",
+]

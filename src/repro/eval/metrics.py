@@ -1,0 +1,78 @@
+"""Accuracy and sparsity metrics (Sec. VII-B definitions).
+
+*Computation sparsity* is the fraction of the operations a vanilla
+systolic array would execute on the original input that a method
+avoids: ``1 - ops(method) / ops(dense)``.  Dense operations are
+computed analytically from the model geometry and original token
+counts, so pruned-token methods are charged correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.accel.trace import ModelTrace
+from repro.model.spec import ModelConfig
+from repro.workloads.datasets import Sample
+
+
+def dense_macs_for(model: ModelConfig, sample: Sample) -> int:
+    """Dense-execution MACs of one sample on the given model."""
+    return model.dense_macs(sample.num_visual_tokens, sample.num_text_tokens)
+
+
+def computation_sparsity(
+    trace: ModelTrace, model: ModelConfig, sample: Sample
+) -> float:
+    """Sec. VII-B computation sparsity of one forward pass."""
+    dense = dense_macs_for(model, sample)
+    if dense == 0:
+        return 0.0
+    return 1.0 - trace.total_macs / dense
+
+
+@dataclass
+class EvalResult:
+    """Aggregated outcome of one (model, dataset, method) evaluation.
+
+    Attributes:
+        model: Model registry name.
+        dataset: Dataset profile name.
+        method: Method registry name.
+        correct: Per-sample correctness flags.
+        sparsities: Per-sample computation sparsity.
+        traces: Per-sample execution traces (for the simulator).
+        dense_macs: Per-sample dense-reference MACs.
+    """
+
+    model: str
+    dataset: str
+    method: str
+    correct: list[bool] = field(default_factory=list)
+    sparsities: list[float] = field(default_factory=list)
+    traces: list[ModelTrace] = field(default_factory=list)
+    dense_macs: list[int] = field(default_factory=list)
+
+    @property
+    def accuracy(self) -> float:
+        """Mean accuracy in percent (paper tables report percent)."""
+        if not self.correct:
+            return 0.0
+        return 100.0 * float(np.mean(self.correct))
+
+    @property
+    def sparsity(self) -> float:
+        """Mean computation sparsity in percent."""
+        if not self.sparsities:
+            return 0.0
+        return 100.0 * float(np.mean(self.sparsities))
+
+    @property
+    def merged_trace(self) -> ModelTrace:
+        """All per-sample traces folded into one (simulator input)."""
+        merged = ModelTrace()
+        for trace in self.traces:
+            merged.merge(trace)
+        return merged

@@ -1,0 +1,244 @@
+"""Paper-style text rendering of experiment results.
+
+Every ``format_*`` function takes the corresponding driver's result
+and returns the rows/series the paper prints, as a plain string — the
+benchmark harness tees these into the experiment log so paper-vs-
+measured comparison is a diff away.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import (
+    AblationBar,
+    Fig2bResult,
+    Fig2cBar,
+    Fig9Result,
+    Fig12Row,
+    Fig13Result,
+    SweepPoint,
+    Table2Result,
+    Table3Row,
+    Table4Row,
+    Table5Row,
+)
+from repro.eval.runner import PAPER_METHOD_NAMES
+from repro.model.zoo import PAPER_MODEL_NAMES
+
+_DATASET_NAMES = {
+    "videomme": "VMME", "mlvu": "MLVU", "mvbench": "MVB",
+    "vqav2": "VQAv2", "mme": "MME", "mmbench": "MMBench",
+}
+
+
+def _model_label(name: str) -> str:
+    return PAPER_MODEL_NAMES.get(name, name)
+
+
+def _dataset_label(name: str) -> str:
+    return _DATASET_NAMES.get(name, name)
+
+
+def format_table2(result: Table2Result) -> str:
+    """Render Table II: accuracy and sparsity per cell."""
+    lines = ["TABLE II: Accuracy and Computation Sparsity"]
+    header = f"{'Model':12s} {'Dataset':8s} {'Metric':8s}" + "".join(
+        f"{PAPER_METHOD_NAMES.get(m, m):>8s}" for m in result.methods
+    )
+    lines.append(header)
+    for model in result.models:
+        for dataset in result.datasets:
+            accuracy_row = (
+                f"{_model_label(model):12s} {_dataset_label(dataset):8s}"
+                f" {'Acc.':8s}"
+            )
+            sparsity_row = f"{'':12s} {'':8s} {'Sparsity':8s}"
+            for method in result.methods:
+                acc, sparsity = result.cells[(model, dataset, method)]
+                accuracy_row += f"{acc:8.2f}"
+                sparsity_row += f"{sparsity:8.2f}"
+            lines.append(accuracy_row)
+            lines.append(sparsity_row)
+    return "\n".join(lines)
+
+
+def format_table3(rows: list[Table3Row]) -> str:
+    """Render Table III: architecture configuration comparison."""
+    lines = ["TABLE III: Architecture Configuration Comparison"]
+    lines.append(
+        f"{'Architecture':16s}{'PE Array':>10s}{'Buffer KB':>11s}"
+        f"{'BW GB/s':>9s}{'Area mm2':>10s}{'Power mW':>10s}"
+    )
+    for row in rows:
+        lines.append(
+            f"{row.name:16s}{row.pe_array:>10s}{row.buffer_kb:>11.0f}"
+            f"{row.dram_bandwidth_gbs:>9.0f}{row.area_mm2:>10.2f}"
+            f"{row.on_chip_power_mw:>10.0f}"
+        )
+    return "\n".join(lines)
+
+
+def format_table4(rows: list[Table4Row]) -> str:
+    """Render Table IV: INT8 influence on accuracy and sparsity."""
+    lines = ["TABLE IV: Influence of INT8 Quantization"]
+    lines.append(
+        f"{'Model':12s}{'Dataset':>8s}{'DenseAcc':>9s}{'Degr.':>7s}"
+        f"{'OursAcc':>9s}{'Degr.':>7s}{'Sparsity':>9s}{'Degr.':>7s}"
+    )
+    for row in rows:
+        lines.append(
+            f"{_model_label(row.model):12s}{_dataset_label(row.dataset):>8s}"
+            f"{row.dense_acc:>9.2f}{row.dense_degrade:>7.2f}"
+            f"{row.ours_acc:>9.2f}{row.ours_degrade:>7.2f}"
+            f"{row.ours_sparsity:>9.2f}{row.sparsity_degrade:>7.2f}"
+        )
+    return "\n".join(lines)
+
+
+def format_table5(rows: list[Table5Row]) -> str:
+    """Render Table V: accuracy and speedup on image VLMs."""
+    lines = ["TABLE V: Accuracy and Speedup on Image VLMs"]
+    lines.append(
+        f"{'Model':16s}{'Dataset':>9s}{'Metric':>9s}"
+        f"{'Dense':>8s}{'AdapTiV':>9s}{'Ours':>8s}"
+    )
+    for row in rows:
+        lines.append(
+            f"{_model_label(row.model):16s}{_dataset_label(row.dataset):>9s}"
+            f"{'Speedup':>9s}{1.0:>8.2f}{row.adaptiv_speedup:>9.2f}"
+            f"{row.ours_speedup:>8.2f}"
+        )
+        lines.append(
+            f"{'':16s}{'':>9s}{'Accuracy':>9s}{row.dense_acc:>8.2f}"
+            f"{row.adaptiv_acc:>9.2f}{row.ours_acc:>8.2f}"
+        )
+    return "\n".join(lines)
+
+
+def format_fig2b(result: Fig2bResult) -> str:
+    """Render Fig. 2(b): similarity fraction above threshold per size."""
+    lines = ["FIG 2(b): Cosine-similarity distribution vs vector size"]
+    for v in result.vector_sizes:
+        frac = result.fraction_above[v] * 100.0
+        lines.append(
+            f"  vector size {v:4d}: {frac:5.1f}% of vectors"
+            f" > {result.threshold} similarity"
+        )
+    return "\n".join(lines)
+
+
+def format_fig2c(bars: list[Fig2cBar]) -> str:
+    """Render Fig. 2(c): sparsity/accuracy bars."""
+    lines = ["FIG 2(c): Sparsity Comparison"]
+    lines.append(f"{'Method':14s}{'Sparsity %':>12s}{'Accuracy %':>12s}")
+    for bar in bars:
+        lines.append(
+            f"{bar.method:14s}{bar.sparsity:>12.1f}{bar.accuracy:>12.1f}"
+        )
+    return "\n".join(lines)
+
+
+def format_fig9(result: Fig9Result) -> str:
+    """Render Fig. 9: speedup / energy bars and breakdowns."""
+    lines = ["FIG 9(a): Speedup (normalized to systolic array)"]
+    header = f"{'Model':12s}{'Dataset':>9s}" + "".join(
+        f"{d:>15s}" for d in result.designs
+    )
+    lines.append(header)
+    for cell in result.cells:
+        row = f"{_model_label(cell.model):12s}{_dataset_label(cell.dataset):>9s}"
+        for design in result.designs:
+            row += f"{cell.speedup[design]:>15.2f}"
+        lines.append(row)
+    geo = f"{'GeoMean':12s}{'':>9s}" + "".join(
+        f"{result.geomean_speedup[d]:>15.2f}" for d in result.designs
+    )
+    lines.append(geo)
+
+    lines.append("FIG 9(b): Normalized energy (vs systolic array)")
+    geo_energy = f"{'GeoMean':12s}{'':>9s}" + "".join(
+        f"{result.geomean_energy[d]:>15.3f}" for d in result.designs
+    )
+    lines.append(header)
+    lines.append(geo_energy)
+
+    total_area = sum(result.area_breakdown_mm2.values())
+    lines.append(f"FIG 9(c): Area breakdown (total {total_area:.2f} mm2)")
+    for component, area in result.area_breakdown_mm2.items():
+        lines.append(
+            f"  {component:16s}{area:8.3f} mm2 ({100 * area / total_area:5.1f}%)"
+        )
+    total_power = sum(result.power_breakdown_w.values())
+    lines.append(f"FIG 9(c): Power breakdown (total {total_power:.2f} W)")
+    for component, power in result.power_breakdown_w.items():
+        lines.append(
+            f"  {component:16s}{power:8.3f} W   ({100 * power / total_power:5.1f}%)"
+        )
+    return "\n".join(lines)
+
+
+def format_sweep(title: str, points: list[SweepPoint]) -> str:
+    """Render one DSE sweep (Fig. 10 panels)."""
+    lines = [title]
+    extras = sorted({key for p in points for key in p.extra})
+    header = f"{'Config':>8s}{'NormLatency':>13s}{'Accuracy':>10s}" + "".join(
+        f"{e:>18s}" for e in extras
+    )
+    lines.append(header)
+    for point in points:
+        row = f"{point.label:>8s}{point.latency:>13.3f}{point.accuracy:>10.2f}"
+        for e in extras:
+            row += f"{point.extra.get(e, float('nan')):>18.2f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_fig11(bars: list[AblationBar]) -> str:
+    """Render Fig. 11: ablation speedups."""
+    lines = ["FIG 11: Ablation Study (speedup vs dense systolic array)"]
+    for bar in bars:
+        lines.append(f"  {bar.label:16s}{bar.speedup:6.2f}x")
+    if len(bars) >= 4:
+        sec_gain = bars[2].speedup / bars[1].speedup
+        sic_gain = bars[3].speedup / bars[2].speedup
+        lines.append(
+            f"  SEC vs CMC: {sec_gain:.2f}x ; SIC on top of SEC:"
+            f" {sic_gain:.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def format_fig12(rows: list[Fig12Row]) -> str:
+    """Render Fig. 12: memory-access ratios."""
+    methods = list(rows[0].dram_ratio)
+    lines = ["FIG 12(a): DRAM access (normalized to systolic array)"]
+    header = f"{'Model':12s}" + "".join(f"{m:>10s}" for m in methods)
+    lines.append(header)
+    for row in rows:
+        lines.append(f"{_model_label(row.model):12s}" + "".join(
+            f"{row.dram_ratio[m]:>10.2f}" for m in methods
+        ))
+    lines.append("FIG 12(b): Activation size (normalized to dense)")
+    lines.append(header)
+    for row in rows:
+        lines.append(f"{_model_label(row.model):12s}" + "".join(
+            f"{row.activation_ratio[m]:>10.2f}" for m in methods
+        ))
+    return "\n".join(lines)
+
+
+def format_fig13(result: Fig13Result) -> str:
+    """Render Fig. 13: tile-length histogram and utilization."""
+    lines = [
+        "FIG 13: Concentrated tile length distribution",
+        f"  tiles observed: {result.tile_lengths.size}",
+        f"  average utilization: {result.average_utilization:.3f}",
+    ]
+    for i, density in enumerate(result.histogram):
+        lo = result.bin_edges[i]
+        hi = result.bin_edges[i + 1]
+        util = result.utilization_curve[i]
+        bar = "#" * int(60 * density / max(result.histogram.max(), 1e-12))
+        lines.append(
+            f"  [{lo:6.0f},{hi:6.0f})  util={util:.2f}  {bar}"
+        )
+    return "\n".join(lines)

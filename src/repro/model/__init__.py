@@ -1,0 +1,59 @@
+"""NumPy transformer VLM substrate with constructed retrieval weights."""
+
+from repro.model.embedding import (
+    COLOR_NAMES,
+    KIND_NAMES,
+    MOTION_NAMES,
+    QUESTION_SLOTS,
+    Codebooks,
+    SubspaceLayout,
+)
+from repro.model.functional import (
+    causal_mask,
+    cosine_similarity,
+    cosine_similarity_matrix,
+    gelu,
+    rms_norm,
+    softmax,
+)
+from repro.model.plugins import DENSE_PLUGIN, DedupStats, InferencePlugin
+from repro.model.spec import ModelConfig
+from repro.model.vlm import InferenceResult, SyntheticVLM, TokenState
+from repro.model.weights import LayerWeights, build_all_weights, build_layer_weights
+from repro.model.zoo import (
+    IMAGE_MODELS,
+    MODEL_CONFIGS,
+    PAPER_MODEL_NAMES,
+    VIDEO_MODELS,
+    get_model_config,
+)
+
+__all__ = [
+    "COLOR_NAMES",
+    "KIND_NAMES",
+    "MOTION_NAMES",
+    "QUESTION_SLOTS",
+    "Codebooks",
+    "SubspaceLayout",
+    "causal_mask",
+    "cosine_similarity",
+    "cosine_similarity_matrix",
+    "gelu",
+    "rms_norm",
+    "softmax",
+    "DENSE_PLUGIN",
+    "DedupStats",
+    "InferencePlugin",
+    "ModelConfig",
+    "InferenceResult",
+    "SyntheticVLM",
+    "TokenState",
+    "LayerWeights",
+    "build_all_weights",
+    "build_layer_weights",
+    "IMAGE_MODELS",
+    "MODEL_CONFIGS",
+    "PAPER_MODEL_NAMES",
+    "VIDEO_MODELS",
+    "get_model_config",
+]

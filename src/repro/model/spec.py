@@ -1,0 +1,108 @@
+"""Model architecture specification for the synthetic VLM substrate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.embedding import SubspaceLayout
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture and construction parameters of a synthetic VLM.
+
+    The transformer geometry (hidden size, depth, heads, FFN ratio)
+    mirrors the paper's evaluation models at roughly 1/14 width and
+    1/2 depth so that a full forward pass runs in well under a second
+    on CPU while keeping every structural property the concentration
+    pipeline interacts with (head_dim = vector size = 32, FHW visual
+    token order, image-then-text causal layout).
+
+    Attributes:
+        name: Registry name (see :mod:`repro.model.zoo`).
+        hidden: Hidden dimension; must be divisible by 8 and by
+            ``num_heads``.
+        num_layers: Transformer depth.
+        num_heads: Attention heads; ``hidden // num_heads`` should be
+            32 to match the paper's vector size.
+        ffn_mult: FFN expansion ratio.
+        seed: Seed for weight construction (distinguishes the "models"
+            of the zoo the way different pretrained checkpoints would).
+        object_gain: Scale of the object-identity match in Wq/Wk; sets
+            cross-modal attention sharpness.
+        self_gain: Scale of the texture-similarity match in Wq/Wk.
+            Image tokens attend to texturally similar tokens (mostly
+            themselves and their previous-frame counterparts), the way
+            real ViT attention maps behave.  Without it every image
+            query is diffuse and retrieves the same scene-average
+            attribute, accumulating a shared residual direction that
+            inflates inter-token similarity with depth.
+        value_gain: Scale of the attribute pass-through in Wv.
+        out_gain: Scale of the output projection's attribute
+            accumulation into the residual stream (at layer 0).
+        out_gain_decay: Per-layer multiplier on ``out_gain``; retrieval
+            is front-loaded into early layers the way trained VLMs
+            specialize heads, while the Q/K score geometry (which the
+            SEC reads) is identical at every layer.
+        weight_noise: Std-dev of the dense random component of every
+            projection (models everything the constructed sub-spaces
+            do not capture).
+        mlp_scale: Scale of the random MLP mixing.
+        fp16: Round hidden states through FP16 between stages, matching
+            the accelerator's FP16 datapath.
+        vocab_seed: Seed of the shared codebooks (the "vocabulary" the
+            model was trained on); must match the dataset's.
+    """
+
+    name: str
+    hidden: int = 192
+    num_layers: int = 12
+    num_heads: int = 6
+    ffn_mult: int = 3
+    seed: int = 0
+    object_gain: float = 2.0
+    self_gain: float = 1.2
+    value_gain: float = 1.0
+    out_gain: float = 0.3
+    out_gain_decay: float = 0.5
+    weight_noise: float = 0.02
+    mlp_scale: float = 0.10
+    fp16: bool = True
+    vocab_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.hidden % 8 != 0:
+            raise ValueError("hidden must be divisible by 8")
+        if self.hidden % self.num_heads != 0:
+            raise ValueError("hidden must be divisible by num_heads")
+        if self.num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden // self.num_heads
+
+    @property
+    def ffn_hidden(self) -> int:
+        return self.hidden * self.ffn_mult
+
+    @property
+    def layout(self) -> SubspaceLayout:
+        return SubspaceLayout(self.hidden)
+
+    def dense_macs(self, num_image_tokens: int, num_text_tokens: int) -> int:
+        """MACs of one dense forward pass over ``M + T`` tokens.
+
+        This is the Sec. VII-B sparsity denominator: the operations a
+        vanilla systolic array needs for the original input.
+        """
+        s = num_image_tokens + num_text_tokens
+        d = self.hidden
+        per_layer = (
+            s * d * 3 * d          # QKV projection
+            + s * d * s            # QK^T over all heads
+            + s * s * d            # PV over all heads
+            + s * d * d            # output projection
+            + 2 * s * d * self.ffn_hidden  # FFN up + down
+        )
+        return per_layer * self.num_layers

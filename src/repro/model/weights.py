@@ -1,0 +1,135 @@
+"""Constructed transformer weights implementing cross-modal retrieval.
+
+Real VLMs *learn* attention heads in which text queries match the
+visual tokens they talk about, and value paths that carry the visual
+content back to the text stream.  We construct that circuit explicitly
+so it exists without training:
+
+* ``Wq``/``Wk`` share a block-orthogonal rotation on the *object*
+  sub-space, so ``q . k`` measures object-identity agreement — the
+  query token attends to exactly the patches of the referenced object
+  (Fig. 2(a) behaviour).
+* ``Wv``/``Wo`` pass the *attribute* sub-space through attention, so
+  the query token accumulates the referenced object's colour/motion
+  code in its residual stream, where the readout decodes it.
+* Everything is perturbed by a dense random component and the MLP is a
+  smooth random mixing, giving hidden states the full-rank, noisy
+  character that the similarity concentrator has to cope with in the
+  real models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.embedding import Codebooks
+from repro.model.spec import ModelConfig
+from repro.utils.rng import rng_for
+
+
+@dataclass(frozen=True)
+class LayerWeights:
+    """Projection matrices of one transformer layer (all ``float32``)."""
+
+    wq: np.ndarray
+    wk: np.ndarray
+    wv: np.ndarray
+    wo: np.ndarray
+    w_fc1: np.ndarray
+    w_fc2: np.ndarray
+
+
+def build_layer_weights(config: ModelConfig, layer_index: int) -> LayerWeights:
+    """Construct the weights of layer ``layer_index``.
+
+    The query projection passes the object sub-space through unchanged
+    (probe codes stay probe codes); the key projection applies the
+    codebooks' associative content-to-probe map.  The asymmetry is
+    essential: with a shared transform, Cauchy-Schwarz makes every
+    token's best match *itself*, and softmax would park all attention
+    mass on the query token instead of the referenced object.
+    """
+    layout = config.layout
+    d = config.hidden
+    rng = rng_for(config.seed, "weights", config.name, layer_index)
+    sigma = config.weight_noise
+    codebooks = Codebooks(layout, seed=config.vocab_seed)
+
+    def noise(rows: int, cols: int) -> np.ndarray:
+        return sigma * rng.standard_normal((rows, cols)).astype(np.float32)
+
+    obj = layout.object_slice
+    attr = layout.attribute_slice
+    obj_dim = obj.stop - obj.start
+    attr_dim = attr.stop - attr.start
+
+    wq = noise(d, d)
+    wk = noise(d, d)
+    wq[obj, obj] += config.object_gain * np.eye(obj_dim, dtype=np.float32)
+    wk[obj, obj] += config.object_gain * codebooks.association_matrix()
+
+    # Texture self-match *in the value-carrying heads*: image tokens
+    # attend to texturally similar tokens (themselves, neighbours,
+    # previous-frame counterparts) instead of diffusing over the whole
+    # sequence.  The projection must land in the object sub-space —
+    # the score dims of the heads Wo actually reads — or the circuit
+    # would be invisible to the residual stream, and every image token
+    # would keep accumulating the same scene-average attribute.
+    tex = layout.texture_slice
+    tex_dim = tex.stop - tex.start
+    tex_map = (
+        rng.standard_normal((tex_dim, obj_dim)).astype(np.float32)
+        / np.sqrt(tex_dim)
+    )
+    wq[tex, obj] += config.self_gain * tex_map
+    wk[tex, obj] += config.self_gain * tex_map
+
+    # The value path must ride in the same heads that carry the probe
+    # signal (the object sub-space spans the first heads); otherwise
+    # the diffuse remaining heads average everyone's attributes into
+    # the channel.  ``wv`` packs the attribute code into the leading
+    # ``attr_dim`` value dims, attention moves it, and ``wo`` unpacks
+    # it back into the attribute channel of the residual stream.  Both
+    # matrices are kept noise-free on the channels the retrieval
+    # circuit reads and writes — a trained network's circuit lives in
+    # aligned low-rank sub-spaces.
+    pack = slice(0, attr_dim)
+    wv = noise(d, d)
+    wv[:, pack] = 0.0
+    wv[attr, pack] = config.value_gain * np.eye(attr_dim, dtype=np.float32)
+
+    # Wo is a pure low-rank unpack of the retrieved attribute: every
+    # query's attention context includes a near-identical diffuse
+    # component (attention sinks), and a dense Wo would pump that
+    # *shared* vector into all residual streams each layer, inflating
+    # inter-token similarity toward 1 and washing out the Fig. 2(b)
+    # granularity statistics.
+    wo = np.zeros((d, d), dtype=np.float32)
+    layer_gain = config.out_gain * config.out_gain_decay**layer_index
+    wo[pack, attr] = layer_gain * np.eye(attr_dim, dtype=np.float32)
+
+    mlp_sigma = config.mlp_scale / np.sqrt(d)
+    w_fc1 = (mlp_sigma * rng.standard_normal((d, config.ffn_hidden))).astype(
+        np.float32
+    )
+    w_fc2 = (mlp_sigma * rng.standard_normal((config.ffn_hidden, d))).astype(
+        np.float32
+    )
+    w_fc2[:, obj] = 0.0
+    w_fc2[:, attr] = 0.0
+    # The positional code is small-magnitude; random MLP writes would
+    # swamp it within a few layers and destroy the cross-frame
+    # similarity of position-dominated sub-vectors.  Trained models
+    # preserve positional sub-spaces the same way; the MLP mixes into
+    # the texture channels only.
+    w_fc2[:, layout.position_slice] = 0.0
+    return LayerWeights(wq=wq, wk=wk, wv=wv, wo=wo, w_fc1=w_fc1, w_fc2=w_fc2)
+
+
+def build_all_weights(config: ModelConfig) -> list[LayerWeights]:
+    """Construct weights for every layer of the model."""
+    return [
+        build_layer_weights(config, layer) for layer in range(config.num_layers)
+    ]

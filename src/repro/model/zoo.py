@@ -1,0 +1,56 @@
+"""Registry of synthetic models mirroring the paper's evaluation VLMs.
+
+The paper evaluates three video VLMs (Llava-Video-7B, Llava-OneVision-
+7B, MiniCPM-V-2.6) and one image VLM (Qwen2.5-VL-7B).  All are ~7B
+Qwen2-class backbones (28 layers, hidden 3584, head_dim 128); our
+analogs keep head_dim = 32 (the paper's vector size) and scale width
+and depth down so a forward pass is CPU-friendly.  Distinct weight
+seeds and small geometry differences make the models behave like
+different checkpoints, giving per-model variation in accuracy and
+sparsity as in Tables II/IV/V.
+"""
+
+from __future__ import annotations
+
+from repro.model.spec import ModelConfig
+
+MODEL_CONFIGS: dict[str, ModelConfig] = {
+    "llava-video": ModelConfig(
+        name="llava-video", hidden=192, num_layers=12, num_heads=6, seed=11,
+    ),
+    "llava-onevision": ModelConfig(
+        name="llava-onevision", hidden=192, num_layers=12, num_heads=6,
+        seed=23, weight_noise=0.025,
+    ),
+    "minicpm": ModelConfig(
+        name="minicpm", hidden=160, num_layers=10, num_heads=5, seed=37,
+        weight_noise=0.03, mlp_scale=0.12,
+    ),
+    "qwen25-vl": ModelConfig(
+        name="qwen25-vl", hidden=224, num_layers=14, num_heads=7, seed=53,
+    ),
+}
+
+VIDEO_MODELS = ("llava-video", "llava-onevision", "minicpm")
+"""Models used in the video-benchmark tables (II, IV, Figs. 9/12)."""
+
+IMAGE_MODELS = ("llava-onevision", "qwen25-vl")
+"""Models used in the image-benchmark table (V)."""
+
+PAPER_MODEL_NAMES = {
+    "llava-video": "Llava-Vid",
+    "llava-onevision": "Llava-OV",
+    "minicpm": "MiniCPM",
+    "qwen25-vl": "Qwen2.5-VL",
+}
+"""Row labels as printed in the paper's tables."""
+
+
+def get_model_config(name: str) -> ModelConfig:
+    """Look up a model configuration by registry name."""
+    try:
+        return MODEL_CONFIGS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(MODEL_CONFIGS)}"
+        ) from None

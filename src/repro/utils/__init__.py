@@ -1,0 +1,6 @@
+"""Shared utilities: seeded randomness and floating-point emulation."""
+
+from repro.utils.rng import rng_for
+from repro.utils.fp import to_fp16, quantize_fp16
+
+__all__ = ["rng_for", "to_fp16", "quantize_fp16"]

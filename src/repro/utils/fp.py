@@ -1,0 +1,32 @@
+"""Floating-point precision emulation.
+
+The Focus accelerator computes GEMMs with FP16 multipliers and FP32
+accumulators (Table I).  NumPy on CPU computes in FP32/FP64; these
+helpers round values through ``float16`` so the algorithmic results see
+the same quantization the hardware would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def to_fp16(x: np.ndarray) -> np.ndarray:
+    """Round ``x`` through IEEE float16 and return it as float32.
+
+    This models storing a value in an FP16 register or SRAM word while
+    keeping subsequent NumPy arithmetic in float32 (the accumulator
+    precision of the paper's PE array).
+    """
+    return np.asarray(x, dtype=np.float16).astype(np.float32)
+
+
+def quantize_fp16(x: np.ndarray, enabled: bool = True) -> np.ndarray:
+    """Conditionally apply :func:`to_fp16`.
+
+    Args:
+        x: Input array.
+        enabled: When ``False`` the input is returned unchanged, which
+            is useful for ablating precision effects in tests.
+    """
+    return to_fp16(x) if enabled else np.asarray(x, dtype=np.float32)

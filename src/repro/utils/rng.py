@@ -1,0 +1,31 @@
+"""Deterministic random number generation.
+
+Every stochastic component in the library (synthetic scenes, model
+weights, noise injection) draws from a generator obtained through
+:func:`rng_for`, so a whole experiment is reproducible from a single
+integer seed plus a human-readable stream label.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def rng_for(seed: int, *labels: object) -> np.random.Generator:
+    """Return an independent generator for ``(seed, *labels)``.
+
+    The labels are hashed together with the seed so that, for example,
+    ``rng_for(0, "scene", 3)`` and ``rng_for(0, "weights", "attn")``
+    produce decorrelated streams while remaining fully deterministic.
+
+    Args:
+        seed: Experiment-level seed.
+        labels: Any printable objects naming the stream.
+
+    Returns:
+        A ``numpy.random.Generator`` seeded from the digest.
+    """
+    digest = hashlib.sha256(repr((seed,) + labels).encode("utf-8")).digest()
+    return np.random.default_rng(int.from_bytes(digest[:8], "little"))

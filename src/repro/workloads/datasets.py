@@ -1,0 +1,194 @@
+"""Dataset profiles mirroring the paper's evaluation benchmarks.
+
+The paper evaluates on three video benchmarks (VideoMME, MLVU,
+MVBench) and three image benchmarks (VQAv2, MME, MMBench).  Each is
+substituted by a synthetic profile whose knobs reproduce the property
+that distinguishes it in the paper:
+
+* ``videomme`` — general video understanding: medium length, several
+  objects, moderate motion.
+* ``mlvu`` — long-video understanding: more frames, slow scenes (high
+  temporal redundancy; this is the dataset Fig. 2(b)'s similarity CDF
+  is measured on).
+* ``mvbench`` — temporal reasoning: fast motion (lowest inter-frame
+  redundancy), motion questions more likely.
+* ``vqav2`` / ``mme`` / ``mmbench`` — single-image QA at increasing
+  visual clutter (Table V treats images as one-frame videos).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.model.embedding import Codebooks, SubspaceLayout
+from repro.utils.rng import rng_for
+from repro.workloads.prompts import Question, encode_text, random_question
+from repro.workloads.scene import Scene, random_scene
+from repro.workloads.video import RenderParams, render_video, token_positions
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One evaluation item: a rendered video plus an encoded question.
+
+    Attributes:
+        visual_tokens: ``(M, hidden)`` patch embeddings in FHW order.
+        text_tokens: ``(T, hidden)`` question embeddings; the query
+            token is last.
+        positions: ``(M, 3)`` integer (frame, row, col) coordinates.
+        scene: The underlying scene (ground truth).
+        question: The question and its ground-truth answer.
+    """
+
+    visual_tokens: np.ndarray
+    text_tokens: np.ndarray
+    positions: np.ndarray
+    scene: Scene
+    question: Question
+    codebooks: Codebooks
+
+    @property
+    def num_visual_tokens(self) -> int:
+        return int(self.visual_tokens.shape[0])
+
+    @property
+    def num_text_tokens(self) -> int:
+        return int(self.text_tokens.shape[0])
+
+    @property
+    def grid(self) -> tuple[int, int, int]:
+        """(frames, height, width) of the visual token grid."""
+        return (
+            self.scene.num_frames,
+            self.scene.grid_height,
+            self.scene.grid_width,
+        )
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Generation parameters for one synthetic benchmark."""
+
+    name: str
+    num_frames: int
+    grid_height: int
+    grid_width: int
+    num_objects: int
+    num_text_tokens: int
+    motion_scale: float
+    render: RenderParams = field(default_factory=RenderParams)
+    is_video: bool = True
+
+    @property
+    def visual_tokens(self) -> int:
+        return self.num_frames * self.grid_height * self.grid_width
+
+
+VIDEO_PROFILES: dict[str, DatasetProfile] = {
+    "videomme": DatasetProfile(
+        name="videomme", num_frames=8, grid_height=7, grid_width=7,
+        num_objects=4, num_text_tokens=12, motion_scale=0.5,
+    ),
+    "mlvu": DatasetProfile(
+        name="mlvu", num_frames=12, grid_height=6, grid_width=6,
+        num_objects=3, num_text_tokens=12, motion_scale=0.25,
+        render=RenderParams(frame_noise=1.8, change_fraction=0.015),
+    ),
+    "mvbench": DatasetProfile(
+        name="mvbench", num_frames=8, grid_height=7, grid_width=7,
+        num_objects=3, num_text_tokens=10, motion_scale=0.9,
+        render=RenderParams(frame_noise=2.2, change_fraction=0.035),
+    ),
+}
+
+IMAGE_PROFILES: dict[str, DatasetProfile] = {
+    "vqav2": DatasetProfile(
+        name="vqav2", num_frames=1, grid_height=12, grid_width=12,
+        num_objects=3, num_text_tokens=10, motion_scale=0.0, is_video=False,
+        render=RenderParams(texture_smoothness=2.0),
+    ),
+    "mme": DatasetProfile(
+        name="mme", num_frames=1, grid_height=12, grid_width=12,
+        num_objects=4, num_text_tokens=12, motion_scale=0.0, is_video=False,
+        render=RenderParams(texture_smoothness=1.5),
+    ),
+    "mmbench": DatasetProfile(
+        name="mmbench", num_frames=1, grid_height=14, grid_width=14,
+        num_objects=5, num_text_tokens=12, motion_scale=0.0, is_video=False,
+        render=RenderParams(texture_smoothness=1.2),
+    ),
+}
+
+ALL_PROFILES: dict[str, DatasetProfile] = {**VIDEO_PROFILES, **IMAGE_PROFILES}
+
+
+def get_profile(name: str) -> DatasetProfile:
+    """Look up a profile by benchmark name."""
+    try:
+        return ALL_PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(ALL_PROFILES)}"
+        ) from None
+
+
+def make_sample(
+    profile: DatasetProfile,
+    codebooks: Codebooks,
+    seed: int,
+    sample_index: int,
+) -> Sample:
+    """Generate one sample of a dataset profile."""
+    stream = rng_for(seed, "dataset", profile.name, sample_index)
+    scene_seed = int(stream.integers(2**31))
+    scene = random_scene(
+        num_frames=profile.num_frames,
+        grid_height=profile.grid_height,
+        grid_width=profile.grid_width,
+        num_objects=profile.num_objects,
+        seed=scene_seed,
+        motion_scale=profile.motion_scale,
+        sample_index=sample_index,
+    )
+    question = random_question(scene, scene_seed, sample_index)
+    visual = render_video(scene, codebooks, profile.render, scene_seed,
+                          sample_index)
+    text = encode_text(question, codebooks, profile.num_text_tokens,
+                       scene_seed, sample_index)
+    return Sample(
+        visual_tokens=visual,
+        text_tokens=text,
+        positions=token_positions(scene),
+        scene=scene,
+        question=question,
+        codebooks=codebooks,
+    )
+
+
+def make_dataset(
+    name: str,
+    layout: SubspaceLayout,
+    num_samples: int,
+    seed: int = 0,
+    vocab_seed: int = 0,
+) -> list[Sample]:
+    """Generate ``num_samples`` items of the named benchmark.
+
+    Args:
+        name: One of the keys of :data:`ALL_PROFILES`.
+        layout: Hidden-dimension layout of the consuming model (the
+            same logical dataset is re-embedded per model, just as the
+            real benchmarks are re-tokenized per VLM).
+        num_samples: Number of QA items.
+        seed: Experiment seed (varies scenes and questions).
+        vocab_seed: Codebook seed; must match the model's
+            ``vocab_seed`` (the shared "vocabulary").
+    """
+    profile = get_profile(name)
+    codebooks = Codebooks(layout, seed=vocab_seed)
+    return [
+        make_sample(profile, codebooks, seed, index)
+        for index in range(num_samples)
+    ]

@@ -1,0 +1,93 @@
+"""Question generation and text-token encoding.
+
+Questions reference one scene object by kind and ask about one
+attribute slot ("What is the color of the dog?").  The final text token
+is the *query token*: its object sub-space carries the referenced
+kind's code, which is what the constructed attention weights match
+against image tokens — reproducing the prompt-conditioned attention
+shift of Fig. 2(a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.embedding import Codebooks, QUESTION_SLOTS
+from repro.utils.rng import rng_for
+from repro.workloads.scene import Scene, SceneObject
+
+
+@dataclass(frozen=True)
+class Question:
+    """A natural-language question about one object's attribute.
+
+    Attributes:
+        kind_index: Kind of the referenced object.
+        slot: Which attribute is asked ("color" or "motion").
+        answer_index: Ground-truth index into the slot's codebook.
+        text: Human-readable form, for examples and logs.
+    """
+
+    kind_index: int
+    slot: str
+    answer_index: int
+    text: str
+
+
+def question_for(obj: SceneObject, slot: str) -> Question:
+    """Build the question asking for ``slot`` of ``obj``."""
+    if slot not in QUESTION_SLOTS:
+        raise ValueError(f"unknown slot {slot!r}")
+    answer_index = obj.color_index if slot == "color" else obj.motion_index
+    return Question(
+        kind_index=obj.kind_index,
+        slot=slot,
+        answer_index=answer_index,
+        text=f"What is the {slot} of the {obj.kind}?",
+    )
+
+
+def random_question(scene: Scene, seed: int, sample_index: int = 0) -> Question:
+    """Pick a random object and slot from the scene."""
+    rng = rng_for(seed, "question", sample_index)
+    obj = scene.objects[int(rng.integers(len(scene.objects)))]
+    slot = QUESTION_SLOTS[int(rng.integers(len(QUESTION_SLOTS)))]
+    return question_for(obj, slot)
+
+
+def encode_text(
+    question: Question,
+    codebooks: Codebooks,
+    num_tokens: int,
+    seed: int,
+    sample_index: int = 0,
+    query_gain: float = 1.6,
+) -> np.ndarray:
+    """Encode a question as ``num_tokens`` text-token embeddings.
+
+    The first ``num_tokens - 1`` tokens are filler "words" drawn from a
+    fixed vocabulary (they model the linguistic scaffolding of the
+    question); the final token is the query token carrying the
+    referenced kind code.
+
+    Returns:
+        Array of shape ``(num_tokens, hidden)``.
+    """
+    if num_tokens < 1:
+        raise ValueError("need at least one text token")
+    layout = codebooks.layout
+    rng = rng_for(seed, "text", sample_index)
+    tokens = np.zeros((num_tokens, layout.hidden), dtype=np.float32)
+    filler_ids = rng.integers(len(codebooks.filler_codes), size=num_tokens - 1)
+    for i, filler_id in enumerate(filler_ids):
+        tokens[i] = codebooks.filler_codes[filler_id]
+        tokens[i] += 0.02 * rng.standard_normal(layout.hidden).astype(np.float32)
+    query = np.zeros(layout.hidden, dtype=np.float32)
+    query[layout.object_slice] = (
+        query_gain * codebooks.kind_probe_codes[question.kind_index]
+    )
+    query += 0.02 * rng.standard_normal(layout.hidden).astype(np.float32)
+    tokens[-1] = query
+    return tokens

@@ -1,0 +1,102 @@
+"""Tests for the adaptive (top-p) semantic pruning extension."""
+
+import numpy as np
+import pytest
+
+from repro.config import FocusConfig
+from repro.core.adaptive import (
+    AdaptiveFocusPlugin,
+    AdaptiveSemanticConcentrator,
+    TopPSchedule,
+)
+from repro.eval.metrics import computation_sparsity
+from repro.eval.runner import evaluate_samples
+
+
+def _concentrated_probs(s, text_count, hot, mass=0.95):
+    """Probs whose last text row puts ``mass`` on the ``hot`` tokens."""
+    probs = np.full((1, s, s), (1.0 - mass) / s, dtype=np.float32)
+    probs[0, -1, :] = (1.0 - mass) / (s - len(hot))
+    for token in hot:
+        probs[0, -1, token] = mass / len(hot)
+    return probs
+
+
+class TestSchedule:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TopPSchedule(mass=0.0)
+        with pytest.raises(ValueError):
+            TopPSchedule(floor_ratio=0.0)
+        with pytest.raises(ValueError):
+            TopPSchedule(floor_ratio=2.0, ceiling_ratio=1.0)
+
+
+class TestAdaptiveConcentrator:
+    def _sec(self, mass=0.9):
+        config = FocusConfig(retention_schedule={1: 0.5}, schedule_depth=2)
+        return AdaptiveSemanticConcentrator(
+            config, 2, TopPSchedule(mass=mass, floor_ratio=0.1,
+                                    ceiling_ratio=2.0)
+        )
+
+    def test_concentrated_attention_prunes_harder(self):
+        sec = self._sec(mass=0.9)
+        s, text = 22, 2
+        is_text = np.zeros(s, dtype=bool)
+        is_text[-text:] = True
+        probs = _concentrated_probs(s, text, hot=[3, 7])
+        decision = sec.prune(1, probs, is_text, 20, np.arange(s))
+        assert decision is not None
+        kept = int(decision.keep[:-text].sum())
+        # Fixed schedule would keep 10; concentrated attention keeps
+        # far fewer.
+        assert kept < 10
+        assert decision.keep[3] and decision.keep[7]
+
+    def test_ceiling_bounds_diffuse_prompts(self):
+        sec = self._sec(mass=0.99)
+        s, text = 42, 2
+        is_text = np.zeros(s, dtype=bool)
+        is_text[-text:] = True
+        probs = np.full((1, s, s), 1.0 / s, dtype=np.float32)
+        decision = sec.prune(1, probs, is_text, 40, np.arange(s))
+        assert decision is not None
+        kept = int(decision.keep[:-text].sum())
+        assert kept <= 2 * 20  # ceiling_ratio * budget
+
+    def test_off_schedule_returns_none(self):
+        sec = self._sec()
+        s = 10
+        probs = np.full((1, s, s), 1.0 / s, dtype=np.float32)
+        is_text = np.zeros(s, dtype=bool)
+        is_text[-1:] = True
+        assert sec.prune(0, probs, is_text, 9, np.arange(s)) is None
+
+
+class TestAdaptivePlugin:
+    def test_end_to_end(self, tiny_model, tiny_samples):
+        config = FocusConfig(m_tile=64)
+        result = evaluate_samples(tiny_model, tiny_samples, "focus-topp",
+                                  config)
+        assert all(0.0 <= s < 1.0 for s in result.sparsities)
+        assert result.sparsity > 10.0
+
+    def test_sparsity_varies_per_sample(self, tiny_model, tiny_samples):
+        """The paper's caveat: adaptation introduces runtime variation."""
+        config = FocusConfig(m_tile=64)
+        sparsities = []
+        for sample in tiny_samples:
+            plugin = AdaptiveFocusPlugin(tiny_model, config)
+            outcome = tiny_model.forward(sample, plugin)
+            sparsities.append(computation_sparsity(
+                outcome.trace, tiny_model.config, sample
+            ))
+        assert len(set(round(s, 4) for s in sparsities)) > 1
+
+    def test_accuracy_comparable_to_fixed(self, tiny_model, tiny_samples):
+        config = FocusConfig(m_tile=64)
+        fixed = evaluate_samples(tiny_model, tiny_samples, "focus", config)
+        adaptive = evaluate_samples(tiny_model, tiny_samples, "focus-topp",
+                                    config)
+        assert adaptive.accuracy >= fixed.accuracy - 50.0

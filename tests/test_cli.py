@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main, run_experiment
+
+
+class TestParser:
+    def test_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_parses_options(self):
+        args = build_parser().parse_args(
+            ["table2", "fig11", "--samples", "3", "--seed", "7"]
+        )
+        assert args.experiments == ["table2", "fig11"]
+        assert args.samples == 3
+        assert args.seed == 7
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["table99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_registry_covers_all_tables_and_figures(self):
+        expected = {
+            "table2", "table3", "table4", "table5",
+            "fig2b", "fig2c", "fig9", "fig10a", "fig10b", "fig10c",
+            "fig10d", "fig11", "fig12", "fig13",
+        }
+        assert expected == set(EXPERIMENTS)
+
+    @pytest.mark.slow
+    def test_run_single_experiment(self, capsys):
+        assert main(["fig13", "--samples", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG 13" in out
+
+    @pytest.mark.slow
+    def test_run_experiment_helper(self):
+        text = run_experiment("fig2c", samples=2, seed=0)
+        assert "Sparsity" in text

@@ -1,0 +1,87 @@
+"""Tests for the evaluation harness (metrics, runner)."""
+
+import numpy as np
+import pytest
+
+from repro.accel.trace import GemmTrace, ModelTrace
+from repro.config import FocusConfig
+from repro.eval.metrics import (
+    EvalResult,
+    computation_sparsity,
+    dense_macs_for,
+)
+from repro.eval.runner import (
+    METHOD_REGISTRY,
+    ModelCache,
+    evaluate_samples,
+    make_plugin,
+)
+
+
+class TestMetrics:
+    def test_dense_sparsity_is_zero(self, tiny_model, tiny_sample):
+        result = tiny_model.forward(tiny_sample)
+        sparsity = computation_sparsity(result.trace, tiny_model.config,
+                                        tiny_sample)
+        assert sparsity == pytest.approx(0.0, abs=1e-9)
+
+    def test_dense_macs_for(self, tiny_model_config, tiny_sample):
+        expected = tiny_model_config.dense_macs(
+            tiny_sample.num_visual_tokens, tiny_sample.num_text_tokens
+        )
+        assert dense_macs_for(tiny_model_config, tiny_sample) == expected
+
+    def test_eval_result_percentages(self):
+        result = EvalResult(model="m", dataset="d", method="x",
+                            correct=[True, False],
+                            sparsities=[0.5, 0.7])
+        assert result.accuracy == 50.0
+        assert result.sparsity == pytest.approx(60.0)
+
+    def test_empty_result(self):
+        result = EvalResult(model="m", dataset="d", method="x")
+        assert result.accuracy == 0.0
+        assert result.sparsity == 0.0
+
+    def test_merged_trace(self):
+        result = EvalResult(model="m", dataset="d", method="x")
+        for _ in range(2):
+            trace = ModelTrace(initial_tokens=4)
+            trace.add(GemmTrace(name="fc1", layer=0, m=2, k=2, n=2))
+            result.traces.append(trace)
+        merged = result.merged_trace
+        assert len(merged.gemms) == 2
+        assert merged.initial_tokens == 8
+
+
+class TestRunner:
+    def test_registry_covers_paper_methods(self):
+        expected = {"dense", "framefusion", "adaptiv", "cmc", "focus",
+                    "focus-sec", "focus-sic", "focus-token", "focus-topp"}
+        assert expected == set(METHOD_REGISTRY)
+
+    def test_make_plugin_unknown(self, tiny_model):
+        with pytest.raises(KeyError):
+            make_plugin("tome", tiny_model)
+
+    def test_make_plugin_each(self, tiny_model):
+        for name in METHOD_REGISTRY:
+            plugin = make_plugin(name, tiny_model, FocusConfig(m_tile=64))
+            assert plugin is not None
+
+    def test_evaluate_samples_paired(self, tiny_model, tiny_samples):
+        config = FocusConfig(m_tile=64)
+        a = evaluate_samples(tiny_model, tiny_samples, "focus", config)
+        b = evaluate_samples(tiny_model, tiny_samples, "focus", config)
+        assert a.correct == b.correct
+        np.testing.assert_allclose(a.sparsities, b.sparsities)
+
+    def test_evaluate_samples_counts(self, tiny_model, tiny_samples):
+        result = evaluate_samples(tiny_model, tiny_samples, "dense")
+        assert len(result.correct) == len(tiny_samples)
+        assert len(result.traces) == len(tiny_samples)
+
+    def test_model_cache_identity(self):
+        a = ModelCache.get("llava-video")
+        b = ModelCache.get("llava-video")
+        assert a is b

@@ -1,0 +1,130 @@
+"""Smoke tests for the experiment drivers and reporting.
+
+Each driver runs at minimal sample counts; these tests pin the shape
+properties the paper's tables/figures claim, not absolute numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import experiments as exp
+from repro.eval import reporting as rep
+
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def small_table2():
+    return exp.table2(models=("llava-video",), datasets=("videomme",),
+                      num_samples=4)
+
+
+class TestTable2:
+    def test_cells_complete(self, small_table2):
+        assert len(small_table2.cells) == len(small_table2.methods)
+
+    def test_focus_highest_sparsity(self, small_table2):
+        sparsities = {
+            method: small_table2.cells[("llava-video", "videomme", method)][1]
+            for method in small_table2.methods
+        }
+        assert sparsities["focus"] == max(sparsities.values())
+
+    def test_formatting(self, small_table2):
+        text = rep.format_table2(small_table2)
+        assert "TABLE II" in text
+        assert "Ours" in text
+
+
+class TestTable3:
+    def test_rows_and_area(self):
+        rows = exp.table3(num_samples=1)
+        assert [r.name for r in rows] == [
+            "systolic-array", "adaptiv", "cmc", "focus",
+        ]
+        focus = rows[-1]
+        assert focus.area_mm2 == pytest.approx(3.21, abs=0.02)
+        assert 300 < focus.on_chip_power_mw < 1500
+        assert "TABLE III" in rep.format_table3(rows)
+
+
+class TestFig2:
+    def test_fig2b_monotone_trend(self):
+        result = exp.fig2b(num_samples=1, vector_sizes=(8, 32, 192))
+        assert result.fraction_above[8] > result.fraction_above[192]
+        assert "FIG 2(b)" in rep.format_fig2b(result)
+
+    def test_fig2c_vector_beats_token(self):
+        bars = {b.method: b for b in exp.fig2c(num_samples=3)}
+        assert bars["focus"].sparsity > bars["focus-token"].sparsity
+        assert bars["focus"].sparsity > bars["cmc"].sparsity
+
+
+class TestFig10:
+    def test_fig10a_small_tiles_slower(self):
+        points = exp.fig10a(m_tiles=(0, 32), num_samples=2)
+        assert points[1].latency >= points[0].latency
+
+    def test_fig10b_accumulator_grows_with_small_vectors(self):
+        points = exp.fig10b(vector_sizes=(8, 32), num_samples=2)
+        by_label = {p.label: p for p in points}
+        assert (by_label["8"].extra["accumulator_gops"]
+                > by_label["32"].extra["accumulator_gops"])
+
+    def test_fig10c_larger_blocks_faster(self):
+        points = exp.fig10c(blocks=((1, 1, 1), (2, 2, 2)), num_samples=2)
+        by_label = {p.label: p for p in points}
+        assert by_label["222"].latency <= by_label["111"].latency
+
+    def test_fig10d_more_accumulators_not_slower(self):
+        points = exp.fig10d(accumulators=(8, 64), num_samples=2)
+        assert points[1].latency <= points[0].latency
+
+
+class TestFig11:
+    def test_ablation_ordering(self):
+        bars = {b.label: b.speedup for b in exp.fig11(num_samples=2)}
+        assert bars["systolic-array"] == 1.0
+        assert bars["ours-sec"] > bars["cmc"]
+        assert bars["ours"] > bars["ours-sec"]
+
+
+class TestFig12:
+    def test_focus_lowest_traffic(self):
+        rows = exp.fig12(models=("llava-video",), num_samples=2)
+        mean = rows[-1]
+        assert mean.model == "mean"
+        assert mean.dram_ratio["focus"] < mean.dram_ratio["cmc"]
+        assert mean.dram_ratio["focus"] < mean.dram_ratio["dense"]
+        assert mean.activation_ratio["focus"] < 0.7
+        assert "FIG 12" in rep.format_fig12(rows)
+
+
+class TestFig13:
+    def test_distribution_and_utilization(self):
+        result = exp.fig13(num_samples=2)
+        assert result.tile_lengths.size > 0
+        assert 0.5 < result.average_utilization <= 1.0
+        assert result.histogram.size == result.utilization_curve.size
+        assert "FIG 13" in rep.format_fig13(result)
+
+
+class TestTable4:
+    def test_int8_degradation_small(self):
+        rows = exp.table4(models=("llava-video",), datasets=("videomme",),
+                          num_samples=4)
+        row = rows[0]
+        assert abs(row.sparsity_degrade) < 10.0
+        assert row.ours_acc > 25.0
+        assert "TABLE IV" in rep.format_table4(rows)
+
+
+class TestTable5:
+    def test_image_vlms_speed_up(self):
+        rows = exp.table5(models=("llava-onevision",), datasets=("vqav2",),
+                          num_samples=3)
+        row = rows[0]
+        assert row.ours_speedup > 1.0
+        assert row.adaptiv_speedup > 1.0
+        assert "TABLE V" in rep.format_table5(rows)

@@ -1,0 +1,175 @@
+"""Tests for the SEC building blocks: importance, top-k, offsets."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.importance import (
+    StreamingImportanceAnalyzer,
+    importance_buffer_bytes,
+    importance_scores,
+)
+from repro.core.offsets import (
+    decode_offsets,
+    encode_offsets,
+    encoded_bits,
+    offsets_to_positions,
+)
+from repro.core.topk import (
+    StreamingBubbleSorter,
+    sorter_cycles,
+    top_k_indices,
+    top_k_mask,
+)
+
+
+def _random_probs(rng, heads, s):
+    logits = rng.standard_normal((heads, s, s)).astype(np.float32)
+    e = np.exp(logits)
+    return e / e.sum(-1, keepdims=True)
+
+
+class TestImportance:
+    def test_matches_manual_max(self, rng):
+        probs = _random_probs(rng, 2, 10)
+        is_text = np.zeros(10, dtype=bool)
+        is_text[7:] = True
+        scores = importance_scores(probs, is_text)
+        manual = probs[:, 7:, :7].max(axis=(0, 1))
+        np.testing.assert_allclose(scores, manual)
+
+    def test_requires_text(self, rng):
+        probs = _random_probs(rng, 1, 4)
+        with pytest.raises(ValueError):
+            importance_scores(probs, np.zeros(4, dtype=bool))
+
+    def test_requires_3d(self):
+        with pytest.raises(ValueError):
+            importance_scores(np.zeros((4, 4)), np.zeros(4, dtype=bool))
+
+    def test_streaming_parallel_equals_closed_form(self, rng):
+        probs = _random_probs(rng, 3, 12)
+        is_text = np.zeros(12, dtype=bool)
+        is_text[9:] = True
+        closed = importance_scores(probs, is_text)
+        analyzer = StreamingImportanceAnalyzer(9, lanes=4)
+        streamed = analyzer.analyze(probs[:, 9:, :9])
+        np.testing.assert_allclose(streamed, closed)
+        assert analyzer.cycles > 0
+
+    def test_streaming_orthogonal_equals_closed_form(self, rng):
+        probs = _random_probs(rng, 1, 10)
+        is_text = np.zeros(10, dtype=bool)
+        is_text[8:] = True
+        block = probs[0, 8:, :8]
+        analyzer = StreamingImportanceAnalyzer(8, lanes=4)
+        for start in range(0, 8, 4):
+            analyzer.consume_columns(block[:, start:start + 4])
+        closed = importance_scores(probs, is_text)
+        np.testing.assert_allclose(analyzer.result(), closed)
+
+    def test_row_length_check(self):
+        analyzer = StreamingImportanceAnalyzer(8)
+        with pytest.raises(ValueError):
+            analyzer.consume_row(np.zeros(5))
+
+    def test_buffer_bytes(self):
+        # 12.8k tokens (paper worst case) fits the 25 KB buffer.
+        assert importance_buffer_bytes(12800) <= 25 * 1024
+
+
+class TestTopK:
+    @given(hnp.arrays(np.float32, st.integers(1, 40),
+                      elements=st.floats(-5, 5, width=32)),
+           st.integers(0, 40))
+    @settings(max_examples=60, deadline=None)
+    def test_streaming_sorter_equals_vectorized(self, scores, k):
+        sorter = StreamingBubbleSorter(lanes=4)
+        np.testing.assert_array_equal(
+            sorter.top_k(scores, k), top_k_indices(scores, k)
+        )
+
+    def test_ties_break_to_lower_index(self):
+        scores = np.array([1.0, 2.0, 2.0, 0.5], dtype=np.float32)
+        assert list(top_k_indices(scores, 2)) == [1, 2]
+        assert list(top_k_indices(scores, 1)) == [1]
+
+    def test_selects_correct_values(self):
+        scores = np.array([0.1, 0.9, 0.5, 0.7], dtype=np.float32)
+        assert list(top_k_indices(scores, 2)) == [1, 3]
+
+    def test_mask_form(self):
+        scores = np.array([3.0, 1.0, 2.0], dtype=np.float32)
+        mask = top_k_mask(scores, 2)
+        np.testing.assert_array_equal(mask, [True, False, True])
+
+    def test_k_larger_than_n(self):
+        scores = np.array([1.0, 2.0], dtype=np.float32)
+        assert list(top_k_indices(scores, 10)) == [0, 1]
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            top_k_indices(np.array([1.0]), -1)
+
+    def test_sorter_cycle_model(self):
+        # M * ceil(k/a) cycles (Sec. V-B).
+        assert sorter_cycles(100, 8, 4) == 200
+        assert sorter_cycles(100, 9, 4) == 300
+        assert sorter_cycles(100, 0, 4) == 0
+
+    def test_streaming_sorter_counts_cycles(self):
+        sorter = StreamingBubbleSorter(lanes=4)
+        sorter.top_k(np.arange(20, dtype=np.float32), 8)
+        # Two passes over a shrinking candidate pool.
+        assert sorter.cycles == 20 + 16
+
+
+class TestOffsets:
+    @given(st.lists(st.integers(0, 500), min_size=0, max_size=50,
+                    unique=True))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip(self, indices):
+        indices = np.array(sorted(indices), dtype=np.int64)
+        np.testing.assert_array_equal(
+            decode_offsets(encode_offsets(indices)), indices
+        )
+
+    def test_identity_permutation_encodes_as_ones(self):
+        deltas = encode_offsets(np.arange(5))
+        np.testing.assert_array_equal(deltas, np.ones(5))
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            encode_offsets(np.array([3, 1]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            encode_offsets(np.array([-1, 2]))
+
+    def test_positions_roundtrip(self):
+        grid = (3, 4, 5)
+        indices = np.array([0, 7, 23, 59])
+        positions = offsets_to_positions(indices, grid)
+        frames, height, width = grid
+        linear = (positions[:, 0] * height * width
+                  + positions[:, 1] * width + positions[:, 2])
+        np.testing.assert_array_equal(linear, indices)
+
+    def test_positions_bounds_check(self):
+        with pytest.raises(ValueError):
+            offsets_to_positions(np.array([60]), (3, 4, 5))
+
+    def test_encoded_bits_small_gaps(self):
+        deltas = encode_offsets(np.arange(10))
+        assert encoded_bits(deltas, field_bits=8) == 80
+
+    def test_encoded_bits_escape_words(self):
+        # A gap of 300 does not fit one 8-bit word.
+        deltas = np.array([300], dtype=np.int64)
+        assert encoded_bits(deltas, field_bits=8) == 16
+
+    def test_encoded_bits_rejects_tiny_field(self):
+        with pytest.raises(ValueError):
+            encoded_bits(np.array([1]), field_bits=1)

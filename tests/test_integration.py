@@ -1,0 +1,160 @@
+"""Integration tests: algorithm -> trace -> simulator, end to end.
+
+These assert the *shape* claims of the paper on a small but complete
+pipeline: Focus reaches the highest sparsity, runs fastest on its
+hardware, and moves the least memory — while answering questions as
+well as the dense model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accel.arch import CMC, FOCUS, SYSTOLIC
+from repro.accel.scaling import scale_to_paper
+from repro.accel.simulator import simulate_many
+from repro.config import FocusConfig
+from repro.core.gather import SimilarityGather
+from repro.core.pipeline import FocusPlugin
+from repro.core.scatter import gathered_gemm
+from repro.eval.metrics import computation_sparsity
+from repro.eval.runner import evaluate_samples
+
+
+@pytest.fixture(scope="module")
+def focus_config():
+    return FocusConfig(m_tile=64)
+
+
+@pytest.fixture(scope="module")
+def all_results(tiny_model, tiny_samples):
+    config = FocusConfig(m_tile=64)
+    return {
+        method: evaluate_samples(tiny_model, tiny_samples, method, config)
+        for method in ("dense", "framefusion", "adaptiv", "cmc", "focus")
+    }
+
+
+class TestSparsityOrdering:
+    def test_focus_beats_token_level_baselines(self, all_results):
+        assert all_results["focus"].sparsity > all_results["adaptiv"].sparsity
+        assert all_results["focus"].sparsity > all_results["cmc"].sparsity
+
+    def test_dense_has_zero_sparsity(self, all_results):
+        assert all_results["dense"].sparsity == pytest.approx(0.0, abs=1e-6)
+
+    def test_all_methods_answer_reasonably(self, all_results):
+        dense_acc = all_results["dense"].accuracy
+        for method, result in all_results.items():
+            assert result.accuracy >= dense_acc - 50.0, method
+
+
+class TestHardwarePipeline:
+    def test_focus_fastest_at_paper_scale(self, tiny_model, all_results):
+        hidden = tiny_model.config.hidden
+        sims = {}
+        for method, arch in (("dense", SYSTOLIC), ("cmc", CMC),
+                             ("focus", FOCUS)):
+            scaled = [
+                scale_to_paper(t, hidden)
+                for t in all_results[method].traces
+            ]
+            sims[method] = simulate_many(scaled, arch)
+        assert sims["focus"].cycles < sims["cmc"].cycles
+        assert sims["cmc"].cycles < sims["dense"].cycles
+
+    def test_focus_least_energy(self, tiny_model, all_results):
+        hidden = tiny_model.config.hidden
+        energies = {}
+        for method, arch in (("dense", SYSTOLIC), ("focus", FOCUS)):
+            scaled = [
+                scale_to_paper(t, hidden)
+                for t in all_results[method].traces
+            ]
+            energies[method] = simulate_many(scaled, arch).energy.total_j
+        assert energies["focus"] < energies["dense"]
+
+    def test_focus_least_activation_traffic(self, tiny_model, all_results):
+        hidden = tiny_model.config.hidden
+        traffic = {}
+        for method, arch in (("dense", SYSTOLIC), ("cmc", CMC),
+                             ("focus", FOCUS)):
+            scaled = [
+                scale_to_paper(t, hidden)
+                for t in all_results[method].traces
+            ]
+            traffic[method] = simulate_many(
+                scaled, arch
+            ).activation_dram_bytes
+        assert traffic["focus"] < traffic["cmc"] <= traffic["dense"]
+
+
+class TestNumericalEquivalence:
+    def test_scatter_equals_plugin_approximation(self, tiny_model,
+                                                 tiny_sample, focus_config):
+        """The hardware execution path (concentrated GEMM + scatter)
+        produces exactly the activations the plugin feeds the model."""
+        gather_engine = SimilarityGather(focus_config)
+        state = tiny_model.initial_state(tiny_sample)
+        from repro.model.functional import rms_norm
+        x = rms_norm(state.hidden)
+        result = gather_engine.gather(
+            x, state.positions, state.is_text, state.grid
+        )
+        weight = tiny_model.layers[0].wq
+        hardware = gathered_gemm(x, weight, result)
+        reference = result.x_approx @ weight
+        np.testing.assert_allclose(hardware, reference, rtol=1e-4,
+                                   atol=1e-5)
+
+    def test_focus_trace_macs_below_dense(self, tiny_model, tiny_sample,
+                                          focus_config):
+        dense = tiny_model.forward(tiny_sample)
+        focus = tiny_model.forward(
+            tiny_sample, FocusPlugin(tiny_model, focus_config)
+        )
+        assert focus.trace.total_macs < dense.trace.total_macs
+
+    def test_sparsity_composition(self, tiny_model, tiny_sample,
+                                  focus_config):
+        """SEC + SIC sparsity exceeds each alone (Fig. 11 logic)."""
+        def sparsity(**kwargs):
+            plugin = FocusPlugin(tiny_model, focus_config, **kwargs)
+            result = tiny_model.forward(tiny_sample, plugin)
+            return computation_sparsity(result.trace, tiny_model.config,
+                                        tiny_sample)
+        both = sparsity()
+        assert both >= sparsity(enable_sic=False)
+        assert both >= sparsity(enable_sec=False)
+
+
+class TestWorstAndBestCase:
+    """Sec. VIII-B robustness extremes."""
+
+    def test_incompressible_input_runs_dense(self, tiny_model, tiny_layout,
+                                             focus_config, rng):
+        """No similarity at all: SIC stores every vector; correctness
+        is preserved and the tile never overflows (worst case)."""
+        from repro.core.blocks import build_neighbor_table
+        from repro.core.matching import SimilarityMatcher
+
+        x = rng.standard_normal((16, tiny_layout.hidden)).astype(np.float32)
+        positions = np.array([[0, r, c] for r in range(4) for c in range(4)])
+        matcher = SimilarityMatcher(0.9)
+        table = build_neighbor_table(positions, (1, 4, 4), (1, 2, 2))
+        outcome = matcher.match_tile(
+            matcher.split_blocks(x, 32), table
+        )
+        own = np.arange(16)
+        assert (outcome.reps == own[None, :]).all()
+
+    def test_fully_redundant_input_collapses(self, tiny_layout,
+                                             focus_config):
+        """Perfect similarity: each tile collapses to one vector per
+        k-block (best case)."""
+        row = np.ones(tiny_layout.hidden, dtype=np.float32)
+        x = np.tile(row, (9, 1))
+        positions = np.array([[0, r, c] for r in range(3) for c in range(3)])
+        gather = SimilarityGather(focus_config)
+        result = gather.gather(x, positions, np.zeros(9, dtype=bool),
+                               (1, 3, 3))
+        assert set(result.tile_lengths) == {1}

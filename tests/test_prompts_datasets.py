@@ -1,0 +1,109 @@
+"""Tests for repro.workloads.prompts and repro.workloads.datasets."""
+
+import numpy as np
+import pytest
+
+from repro.model.embedding import QUESTION_SLOTS
+from repro.workloads.datasets import (
+    ALL_PROFILES,
+    IMAGE_PROFILES,
+    VIDEO_PROFILES,
+    get_profile,
+    make_dataset,
+    make_sample,
+)
+from repro.workloads.prompts import encode_text, question_for, random_question
+from repro.workloads.scene import random_scene
+
+
+class TestQuestions:
+    def test_question_for_color(self):
+        scene = random_scene(2, 5, 5, 2, seed=1)
+        obj = scene.objects[0]
+        q = question_for(obj, "color")
+        assert q.answer_index == obj.color_index
+        assert obj.kind in q.text
+
+    def test_question_for_motion(self):
+        scene = random_scene(2, 5, 5, 2, seed=1)
+        obj = scene.objects[1]
+        q = question_for(obj, "motion")
+        assert q.answer_index == obj.motion_index
+
+    def test_unknown_slot(self):
+        scene = random_scene(2, 5, 5, 1, seed=1)
+        with pytest.raises(ValueError):
+            question_for(scene.objects[0], "size")
+
+    def test_random_question_references_scene_object(self):
+        scene = random_scene(2, 5, 5, 3, seed=2)
+        q = random_question(scene, seed=2)
+        assert q.kind_index in {o.kind_index for o in scene.objects}
+        assert q.slot in QUESTION_SLOTS
+
+
+class TestEncodeText:
+    def test_shape(self, tiny_codebooks, tiny_layout):
+        scene = random_scene(2, 5, 5, 2, seed=3)
+        q = random_question(scene, seed=3)
+        tokens = encode_text(q, tiny_codebooks, 6, seed=3)
+        assert tokens.shape == (6, tiny_layout.hidden)
+
+    def test_query_token_is_last_and_carries_probe(self, tiny_codebooks,
+                                                   tiny_layout):
+        scene = random_scene(2, 5, 5, 2, seed=4)
+        q = random_question(scene, seed=4)
+        tokens = encode_text(q, tiny_codebooks, 5, seed=4)
+        probe = tiny_codebooks.kind_probe_codes[q.kind_index]
+        query_obj = tokens[-1][tiny_layout.object_slice]
+        sim = query_obj @ probe / np.linalg.norm(query_obj)
+        assert sim > 0.9
+
+    def test_needs_one_token(self, tiny_codebooks):
+        scene = random_scene(2, 5, 5, 1, seed=5)
+        q = random_question(scene, seed=5)
+        with pytest.raises(ValueError):
+            encode_text(q, tiny_codebooks, 0, seed=5)
+
+
+class TestDatasets:
+    def test_profiles_cover_paper_benchmarks(self):
+        assert set(VIDEO_PROFILES) == {"videomme", "mlvu", "mvbench"}
+        assert set(IMAGE_PROFILES) == {"vqav2", "mme", "mmbench"}
+
+    def test_image_profiles_single_frame(self):
+        for profile in IMAGE_PROFILES.values():
+            assert profile.num_frames == 1
+            assert not profile.is_video
+
+    def test_get_profile_unknown(self):
+        with pytest.raises(KeyError):
+            get_profile("imagenet")
+
+    def test_make_dataset_deterministic(self, tiny_layout):
+        a = make_dataset("videomme", tiny_layout, 2, seed=0)
+        b = make_dataset("videomme", tiny_layout, 2, seed=0)
+        np.testing.assert_array_equal(a[0].visual_tokens, b[0].visual_tokens)
+        assert a[0].question == b[0].question
+
+    def test_samples_differ_across_index(self, tiny_layout):
+        samples = make_dataset("videomme", tiny_layout, 2, seed=0)
+        assert not np.array_equal(samples[0].visual_tokens,
+                                  samples[1].visual_tokens)
+
+    def test_sample_consistency(self, tiny_sample):
+        assert tiny_sample.visual_tokens.shape[0] == (
+            tiny_sample.scene.num_visual_tokens
+        )
+        assert tiny_sample.positions.shape == (
+            tiny_sample.num_visual_tokens, 3
+        )
+        grid = tiny_sample.grid
+        assert grid == (tiny_sample.scene.num_frames,
+                        tiny_sample.scene.grid_height,
+                        tiny_sample.scene.grid_width)
+
+    def test_answer_in_vocab(self, tiny_samples):
+        for sample in tiny_samples:
+            names = sample.codebooks.slot_names(sample.question.slot)
+            assert 0 <= sample.question.answer_index < len(names)

@@ -1,0 +1,197 @@
+"""Property-based tests on the core data structures and invariants.
+
+These use hypothesis to probe the concentration pipeline with
+arbitrary data: whatever the input, the structural invariants of the
+paper's design must hold (representatives precede their followers,
+gather never grows the data, scatter reconstructs exactly, banks never
+conflict, top-k is order-consistent).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import FocusConfig
+from repro.core.blocks import build_neighbor_table
+from repro.core.gather import SimilarityGather
+from repro.core.layouter import ConvolutionLayouter
+from repro.core.matching import SimilarityMatcher
+from repro.core.offsets import decode_offsets, encode_offsets
+from repro.core.scatter import gathered_gemm, scatter_counts
+from repro.core.topk import top_k_indices
+
+grids = st.tuples(
+    st.integers(1, 3), st.integers(1, 4), st.integers(1, 4)
+)
+
+
+def _positions(grid):
+    frames, height, width = grid
+    return np.array([
+        [f, r, c]
+        for f in range(frames) for r in range(height) for c in range(width)
+    ])
+
+
+@st.composite
+def tile_inputs(draw):
+    grid = draw(grids)
+    frames, height, width = grid
+    n = frames * height * width
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    k = draw(st.sampled_from([8, 16]))
+    x = rng.standard_normal((n, k)).astype(np.float32)
+    # Sometimes inject exact duplicates to force matches.
+    if draw(st.booleans()) and n > 1:
+        x[n // 2:] = x[: n - n // 2]
+    return grid, x
+
+
+class TestMatcherInvariants:
+    @given(tile_inputs(), st.floats(0.5, 0.99))
+    @settings(max_examples=40, deadline=None)
+    def test_representatives_precede_followers(self, data, threshold):
+        grid, x = data
+        positions = _positions(grid)
+        matcher = SimilarityMatcher(threshold)
+        table = build_neighbor_table(positions, grid, (2, 2, 2))
+        outcome = matcher.match_tile(matcher.split_blocks(x, 4), table)
+        n = x.shape[0]
+        for b in range(outcome.reps.shape[0]):
+            for i in range(n):
+                assert outcome.reps[b, i] <= i
+
+    @given(tile_inputs())
+    @settings(max_examples=40, deadline=None)
+    def test_representatives_are_roots(self, data):
+        """A representative always represents itself (compact-buffer
+        entries are never themselves aliases)."""
+        grid, x = data
+        positions = _positions(grid)
+        matcher = SimilarityMatcher(0.9)
+        table = build_neighbor_table(positions, grid, (2, 2, 2))
+        outcome = matcher.match_tile(matcher.split_blocks(x, 4), table)
+        for b in range(outcome.reps.shape[0]):
+            reps = outcome.reps[b]
+            for i in range(x.shape[0]):
+                assert reps[reps[i]] == reps[i]
+
+    @given(tile_inputs())
+    @settings(max_examples=30, deadline=None)
+    def test_unique_counts_bounds(self, data):
+        grid, x = data
+        positions = _positions(grid)
+        matcher = SimilarityMatcher(0.9)
+        table = build_neighbor_table(positions, grid, (2, 2, 2))
+        outcome = matcher.match_tile(matcher.split_blocks(x, 4), table)
+        counts = outcome.unique_counts()
+        assert (counts >= 1).all()
+        assert (counts <= x.shape[0]).all()
+
+
+class TestGatherScatterInvariants:
+    @given(tile_inputs())
+    @settings(max_examples=30, deadline=None)
+    def test_gather_never_grows(self, data):
+        grid, x = data
+        positions = _positions(grid)
+        config = FocusConfig(vector_size=4)
+        result = SimilarityGather(config).gather(
+            x, positions, np.zeros(x.shape[0], dtype=bool), grid
+        )
+        assert result.unique_total <= result.total_vectors
+        assert result.compression_ratio >= 1.0
+
+    @given(tile_inputs())
+    @settings(max_examples=30, deadline=None)
+    def test_scatter_reconstructs_exactly(self, data):
+        grid, x = data
+        positions = _positions(grid)
+        config = FocusConfig(vector_size=4)
+        result = SimilarityGather(config).gather(
+            x, positions, np.zeros(x.shape[0], dtype=bool), grid
+        )
+        rng = np.random.default_rng(0)
+        weight = rng.standard_normal((x.shape[1], 5)).astype(np.float32)
+        np.testing.assert_allclose(
+            gathered_gemm(x, weight, result),
+            result.x_approx @ weight,
+            rtol=1e-4, atol=1e-4,
+        )
+
+    @given(tile_inputs())
+    @settings(max_examples=30, deadline=None)
+    def test_scatter_counts_partition_rows(self, data):
+        grid, x = data
+        positions = _positions(grid)
+        config = FocusConfig(vector_size=4)
+        result = SimilarityGather(config).gather(
+            x, positions, np.zeros(x.shape[0], dtype=bool), grid
+        )
+        counts = scatter_counts(result)
+        assert counts.sum() == x.shape[0] * result.reps.shape[0]
+        assert len(counts) == result.unique_total
+
+    @given(tile_inputs(), st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_tile_isolation(self, data, m_tile):
+        """Representatives never cross an m-tile boundary."""
+        grid, x = data
+        positions = _positions(grid)
+        config = FocusConfig(vector_size=4, m_tile=m_tile)
+        result = SimilarityGather(config).gather(
+            x, positions, np.zeros(x.shape[0], dtype=bool), grid
+        )
+        for b in range(result.reps.shape[0]):
+            for i in range(x.shape[0]):
+                assert result.reps[b, i] // m_tile == i // m_tile
+
+
+class TestLayouterInvariants:
+    @given(grids, st.integers(1, 3), st.integers(1, 3), st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_all_tokens_all_windows_conflict_free(self, grid, bf, bh, bw):
+        frames, height, width = grid
+        layouter = ConvolutionLayouter((bf, bh, bw), frame_width=width)
+        for position in _positions(grid):
+            assert layouter.is_conflict_free(tuple(position))
+
+    @given(grids)
+    @settings(max_examples=30, deadline=None)
+    def test_bank_count_respected(self, grid):
+        frames, height, width = grid
+        layouter = ConvolutionLayouter((2, 2, 2), frame_width=width)
+        addresses = layouter.addresses(_positions(grid))
+        assert (addresses[:, 0] >= 0).all()
+        assert (addresses[:, 0] < layouter.num_banks).all()
+
+
+class TestSelectionInvariants:
+    @given(st.lists(st.floats(-100, 100, allow_nan=False, width=32),
+                    min_size=1, max_size=60),
+           st.integers(1, 60))
+    @settings(max_examples=50, deadline=None)
+    def test_topk_contains_maximum(self, values, k):
+        scores = np.array(values, dtype=np.float32)
+        chosen = top_k_indices(scores, min(k, len(values)))
+        assert int(np.argmax(scores)) in set(int(i) for i in chosen)
+
+    @given(st.lists(st.floats(-100, 100, allow_nan=False, width=32),
+                    min_size=2, max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_topk_nested(self, values):
+        scores = np.array(values, dtype=np.float32)
+        k = len(values) // 2
+        smaller = set(int(i) for i in top_k_indices(scores, k))
+        larger = set(int(i) for i in top_k_indices(scores, k + 1))
+        assert smaller <= larger
+
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=100,
+                    unique=True))
+    @settings(max_examples=50, deadline=None)
+    def test_offsets_total_order(self, indices):
+        ordered = np.array(sorted(indices), dtype=np.int64)
+        deltas = encode_offsets(ordered)
+        assert (deltas > 0).all()
+        np.testing.assert_array_equal(decode_offsets(deltas), ordered)

@@ -1,0 +1,105 @@
+"""Tests for INT8 quantization emulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.pipeline import FocusPlugin
+from repro.quant.int8 import (
+    INT8_LEVELS,
+    Int8ActivationPlugin,
+    fake_quant_int8,
+    quantize_model,
+)
+
+
+class TestFakeQuant:
+    def test_zero_preserved(self):
+        np.testing.assert_array_equal(
+            fake_quant_int8(np.zeros((2, 4))), np.zeros((2, 4))
+        )
+
+    def test_extremes_preserved(self):
+        x = np.array([[1.0, -1.0, 0.5]], dtype=np.float32)
+        out = fake_quant_int8(x)
+        assert out[0, 0] == pytest.approx(1.0)
+        assert out[0, 1] == pytest.approx(-1.0)
+
+    @given(hnp.arrays(np.float32, (3, 16),
+                      elements=st.floats(-10, 10, width=32)))
+    @settings(max_examples=40, deadline=None)
+    def test_bounded_error(self, x):
+        out = fake_quant_int8(x, axis=-1)
+        scale = np.max(np.abs(x), axis=-1, keepdims=True) / INT8_LEVELS
+        assert (np.abs(out - x) <= scale / 2 + 1e-7).all()
+
+    @given(hnp.arrays(np.float32, (2, 8),
+                      elements=st.floats(-10, 10, width=32)))
+    @settings(max_examples=40, deadline=None)
+    def test_idempotent(self, x):
+        once = fake_quant_int8(x)
+        np.testing.assert_allclose(fake_quant_int8(once), once, atol=1e-6)
+
+    def test_per_channel_axis(self):
+        x = np.array([[100.0, 0.01], [100.0, 0.01]], dtype=np.float32)
+        per_row = fake_quant_int8(x, axis=-1)
+        per_col = fake_quant_int8(x, axis=0)
+        # Per-row: the small value is crushed by the row's big scale.
+        assert per_row[0, 1] == 0.0
+        # Per-column: the small column keeps its own scale.
+        assert per_col[0, 1] == pytest.approx(0.01, rel=0.02)
+
+
+class TestQuantizeModel:
+    def test_weights_differ_but_close(self, tiny_model):
+        quantized = quantize_model(tiny_model)
+        original = tiny_model.layers[0].wq
+        rounded = quantized.layers[0].wq
+        assert not np.array_equal(original, rounded)
+        assert np.abs(original - rounded).max() < 0.05
+
+    def test_original_untouched(self, tiny_model):
+        before = tiny_model.layers[0].wq.copy()
+        quantize_model(tiny_model)
+        np.testing.assert_array_equal(tiny_model.layers[0].wq, before)
+
+    def test_accuracy_survives_int8(self, tiny_model, tiny_samples):
+        quantized = quantize_model(tiny_model)
+        fp16 = [tiny_model.forward(s).correct for s in tiny_samples]
+        int8 = [
+            quantized.forward(s, Int8ActivationPlugin()).correct
+            for s in tiny_samples
+        ]
+        assert sum(int8) >= sum(fp16) - 1
+
+
+class TestInt8Plugin:
+    def test_wraps_focus(self, tiny_model, tiny_sample, tiny_focus_config):
+        inner = FocusPlugin(tiny_model, tiny_focus_config)
+        plugin = Int8ActivationPlugin(inner)
+        result = tiny_model.forward(tiny_sample, plugin)
+        assert result.trace.sec_events
+        gathered = [g for g in result.trace.gemms
+                    if g.input_unique is not None]
+        assert gathered
+
+    def test_default_inner_is_dense(self, tiny_model, tiny_sample):
+        result = tiny_model.forward(tiny_sample, Int8ActivationPlugin())
+        assert not result.trace.sec_events
+
+    def test_quantization_changes_gather_slightly(self, tiny_model,
+                                                  tiny_sample,
+                                                  tiny_focus_config):
+        fp = tiny_model.forward(
+            tiny_sample, FocusPlugin(tiny_model, tiny_focus_config)
+        )
+        q8 = tiny_model.forward(
+            tiny_sample,
+            Int8ActivationPlugin(FocusPlugin(tiny_model, tiny_focus_config)),
+        )
+        fp_unique = sum(g.input_unique or 0 for g in fp.trace.gemms)
+        q8_unique = sum(g.input_unique or 0 for g in q8.trace.gemms)
+        # Table IV: sparsity changes only marginally under INT8.
+        assert abs(fp_unique - q8_unique) / max(fp_unique, 1) < 0.2

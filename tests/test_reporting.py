@@ -1,0 +1,115 @@
+"""Tests for paper-style report formatting."""
+
+import numpy as np
+
+from repro.eval.experiments import (
+    AblationBar,
+    Fig2bResult,
+    Fig2cBar,
+    Fig12Row,
+    Fig13Result,
+    SweepPoint,
+    Table2Result,
+    Table3Row,
+    Table4Row,
+    Table5Row,
+)
+from repro.eval.reporting import (
+    format_fig2b,
+    format_fig2c,
+    format_fig11,
+    format_fig12,
+    format_fig13,
+    format_sweep,
+    format_table2,
+    format_table3,
+    format_table4,
+    format_table5,
+)
+
+
+class TestTableFormatting:
+    def test_table2(self):
+        result = Table2Result(models=("llava-video",),
+                              datasets=("videomme",),
+                              methods=("dense", "focus"))
+        result.cells[("llava-video", "videomme", "dense")] = (90.0, 0.0)
+        result.cells[("llava-video", "videomme", "focus")] = (88.0, 80.0)
+        text = format_table2(result)
+        assert "Llava-Vid" in text
+        assert "VMME" in text
+        assert "88.00" in text
+        assert "80.00" in text
+
+    def test_table3(self):
+        rows = [Table3Row(name="focus", pe_array="32x32", buffer_kb=734,
+                          dram_bandwidth_gbs=64, area_mm2=3.21,
+                          on_chip_power_mw=736)]
+        text = format_table3(rows)
+        assert "3.21" in text
+        assert "736" in text
+
+    def test_table4(self):
+        rows = [Table4Row(model="llava-video", dataset="videomme",
+                          dense_acc=90.0, dense_degrade=0.1,
+                          ours_acc=88.0, ours_degrade=0.4,
+                          ours_sparsity=78.0, sparsity_degrade=0.2)]
+        text = format_table4(rows)
+        assert "78.00" in text
+
+    def test_table5(self):
+        rows = [Table5Row(model="qwen25-vl", dataset="vqav2",
+                          dense_acc=90.0, adaptiv_acc=85.0,
+                          adaptiv_speedup=1.9, ours_acc=88.0,
+                          ours_speedup=2.2)]
+        text = format_table5(rows)
+        assert "Qwen2.5-VL" in text
+        assert "2.20" in text
+
+
+class TestFigureFormatting:
+    def test_fig2b(self):
+        result = Fig2bResult(vector_sizes=(8, 32))
+        result.fraction_above = {8: 0.64, 32: 0.5}
+        result.cdfs = {8: np.zeros(101), 32: np.zeros(101)}
+        text = format_fig2b(result)
+        assert "64.0%" in text
+
+    def test_fig2c(self):
+        text = format_fig2c([Fig2cBar(method="focus", sparsity=80.0,
+                                      accuracy=90.0)])
+        assert "focus" in text
+
+    def test_fig11(self):
+        bars = [AblationBar("systolic-array", 1.0), AblationBar("cmc", 2.0),
+                AblationBar("ours-sec", 3.15), AblationBar("ours", 4.53)]
+        text = format_fig11(bars)
+        assert "4.53x" in text
+        assert "1.44x" in text  # SIC gain over SEC
+
+    def test_fig12(self):
+        row = Fig12Row(model="llava-video",
+                       dram_ratio={"dense": 1.0, "focus": 0.21},
+                       activation_ratio={"dense": 1.0, "focus": 0.18})
+        text = format_fig12([row])
+        assert "0.21" in text
+        assert "0.18" in text
+
+    def test_fig13(self):
+        result = Fig13Result(
+            tile_lengths=np.array([100, 200]),
+            histogram=np.array([0.5, 0.5]),
+            bin_edges=np.array([0.0, 100.0, 200.0]),
+            utilization_curve=np.array([0.5, 0.8]),
+            average_utilization=0.92,
+        )
+        text = format_fig13(result)
+        assert "0.920" in text
+
+    def test_sweep(self):
+        points = [SweepPoint(label="32", latency=1.0, accuracy=90.0,
+                             extra={"buffer_kb": 256.0})]
+        text = format_sweep("SWEEP", points)
+        assert "SWEEP" in text
+        assert "buffer_kb" in text
+        assert "256.00" in text

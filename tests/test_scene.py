@@ -1,0 +1,103 @@
+"""Tests for repro.workloads.scene."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.embedding import KIND_NAMES
+from repro.workloads.scene import (
+    Scene,
+    SceneObject,
+    coverage_map,
+    random_scene,
+)
+
+
+class TestSceneObject:
+    def test_static_object_stays_put(self):
+        obj = SceneObject(kind_index=0, color_index=0, motion_index=0,
+                          row=1.0, col=2.0, height=2.0, width=2.0)
+        assert obj.rect_at(0) == obj.rect_at(5)
+
+    def test_rightward_motion(self):
+        obj = SceneObject(kind_index=0, color_index=0, motion_index=2,
+                          row=1.0, col=1.0, height=1.0, width=1.0, speed=0.5)
+        top0, left0, _, _ = obj.rect_at(0)
+        top3, left3, _, _ = obj.rect_at(3)
+        assert top3 == top0
+        assert left3 == pytest.approx(left0 + 1.5)
+
+    def test_names(self):
+        obj = SceneObject(kind_index=1, color_index=2, motion_index=3,
+                          row=0, col=0, height=1, width=1)
+        assert obj.kind == KIND_NAMES[1]
+
+
+class TestRandomScene:
+    @given(st.integers(1, 6), st.integers(4, 8), st.integers(4, 8),
+           st.integers(1, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_objects_stay_in_bounds(self, frames, height, width, objects):
+        scene = random_scene(frames, height, width, objects, seed=1)
+        for obj in scene.objects:
+            for frame in (0, frames - 1):
+                top, left, bottom, right = obj.rect_at(frame)
+                assert top >= -1e-5
+                assert left >= -1e-5
+                assert bottom <= height + 1e-5
+                assert right <= width + 1e-5
+
+    def test_unique_kinds(self):
+        scene = random_scene(4, 6, 6, 4, seed=2)
+        kinds = [obj.kind_index for obj in scene.objects]
+        assert len(set(kinds)) == len(kinds)
+
+    def test_deterministic(self):
+        a = random_scene(4, 6, 6, 3, seed=5)
+        b = random_scene(4, 6, 6, 3, seed=5)
+        assert a == b
+
+    def test_rejects_too_many_objects(self):
+        with pytest.raises(ValueError):
+            random_scene(2, 6, 6, len(KIND_NAMES) + 1, seed=0)
+
+    def test_rejects_zero_objects(self):
+        with pytest.raises(ValueError):
+            random_scene(2, 6, 6, 0, seed=0)
+
+    def test_token_counts(self):
+        scene = random_scene(3, 4, 5, 2, seed=0)
+        assert scene.tokens_per_frame == 20
+        assert scene.num_visual_tokens == 60
+
+
+class TestCoverageMap:
+    def test_shape(self):
+        scene = random_scene(2, 5, 5, 2, seed=1)
+        cover = coverage_map(scene, 0)
+        assert cover.shape == (2, 5, 5)
+
+    def test_values_in_unit_interval(self):
+        scene = random_scene(2, 6, 6, 3, seed=3)
+        for frame in range(2):
+            cover = coverage_map(scene, frame)
+            assert (cover >= 0).all()
+            assert (cover <= 1.0 + 1e-6).all()
+
+    def test_total_area_matches_object(self):
+        obj = SceneObject(kind_index=0, color_index=0, motion_index=0,
+                          row=1.25, col=1.5, height=2.0, width=1.5)
+        scene = Scene(num_frames=1, grid_height=6, grid_width=6,
+                      objects=(obj,))
+        cover = coverage_map(scene, 0)
+        assert cover[0].sum() == pytest.approx(3.0, rel=1e-5)
+
+    def test_fractional_coverage_at_boundary(self):
+        obj = SceneObject(kind_index=0, color_index=0, motion_index=0,
+                          row=0.5, col=0.5, height=1.0, width=1.0)
+        scene = Scene(num_frames=1, grid_height=3, grid_width=3,
+                      objects=(obj,))
+        cover = coverage_map(scene, 0)[0]
+        assert cover[0, 0] == pytest.approx(0.25)
+        assert cover[1, 1] == pytest.approx(0.25)

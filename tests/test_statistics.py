@@ -1,0 +1,89 @@
+"""Tests for paired bootstrap statistics."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import EvalResult
+from repro.eval.statistics import (
+    PairedComparison,
+    paired_bootstrap,
+    sparsity_summary,
+)
+
+
+class TestPairedBootstrap:
+    def test_identical_results_zero_delta(self):
+        flags = [True, False, True, True]
+        comparison = paired_bootstrap(flags, flags)
+        assert comparison.mean_delta == 0.0
+        assert not comparison.significant
+
+    def test_clear_improvement_significant(self):
+        candidate = [True] * 30
+        reference = [False] * 15 + [True] * 15
+        comparison = paired_bootstrap(candidate, reference)
+        assert comparison.mean_delta == pytest.approx(50.0)
+        assert comparison.significant
+        assert comparison.low > 0
+
+    def test_clear_regression_significant(self):
+        candidate = [False] * 20 + [True] * 10
+        reference = [True] * 30
+        comparison = paired_bootstrap(candidate, reference)
+        assert comparison.mean_delta < 0
+        assert comparison.high < 0
+
+    def test_interval_contains_mean(self):
+        rng = np.random.default_rng(0)
+        candidate = list(rng.random(40) < 0.8)
+        reference = list(rng.random(40) < 0.75)
+        comparison = paired_bootstrap(candidate, reference)
+        assert comparison.low <= comparison.mean_delta <= comparison.high
+
+    def test_deterministic(self):
+        candidate = [True, False] * 10
+        reference = [False, True] * 10
+        a = paired_bootstrap(candidate, reference, seed=3)
+        b = paired_bootstrap(candidate, reference, seed=3)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_accepts_eval_results(self):
+        a = EvalResult(model="m", dataset="d", method="focus",
+                       correct=[True, True, False])
+        b = EvalResult(model="m", dataset="d", method="dense",
+                       correct=[True, False, False])
+        comparison = paired_bootstrap(a, b)
+        assert isinstance(comparison, PairedComparison)
+        assert comparison.n_samples == 3
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap([True], [True, False])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap([], [])
+
+    def test_bad_confidence(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap([True], [True], confidence=1.0)
+
+    def test_str_format(self):
+        comparison = paired_bootstrap([True] * 4, [False] * 4)
+        text = str(comparison)
+        assert "95% CI" in text
+        assert "n=4" in text
+
+
+class TestSparsitySummary:
+    def test_summary_fields(self):
+        result = EvalResult(model="m", dataset="d", method="focus",
+                            sparsities=[0.7, 0.8, 0.75])
+        summary = sparsity_summary(result)
+        assert summary["mean"] == pytest.approx(75.0)
+        assert summary["min"] == pytest.approx(70.0)
+        assert summary["max"] == pytest.approx(80.0)
+
+    def test_empty(self):
+        result = EvalResult(model="m", dataset="d", method="focus")
+        assert sparsity_summary(result)["mean"] == 0.0

@@ -1,0 +1,53 @@
+"""Tests for repro.utils (rng and fp16 helpers)."""
+
+import numpy as np
+
+from repro.utils.fp import quantize_fp16, to_fp16
+from repro.utils.rng import rng_for
+
+
+class TestRng:
+    def test_deterministic(self):
+        a = rng_for(0, "x").standard_normal(8)
+        b = rng_for(0, "x").standard_normal(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_label_independence(self):
+        a = rng_for(0, "x").standard_normal(8)
+        b = rng_for(0, "y").standard_normal(8)
+        assert not np.array_equal(a, b)
+
+    def test_seed_independence(self):
+        a = rng_for(0, "x").standard_normal(8)
+        b = rng_for(1, "x").standard_normal(8)
+        assert not np.array_equal(a, b)
+
+    def test_multiple_labels(self):
+        a = rng_for(0, "x", 1).standard_normal(4)
+        b = rng_for(0, "x", 2).standard_normal(4)
+        assert not np.array_equal(a, b)
+
+
+class TestFp16:
+    def test_returns_float32(self):
+        out = to_fp16(np.array([1.0, 2.0], dtype=np.float64))
+        assert out.dtype == np.float32
+
+    def test_rounding_visible(self):
+        # 1 + 2^-12 is not representable in fp16 (10 mantissa bits).
+        value = np.array([1.0 + 2.0**-12], dtype=np.float32)
+        assert to_fp16(value)[0] == 1.0
+
+    def test_exact_values_preserved(self):
+        values = np.array([0.5, -2.0, 0.0, 1024.0], dtype=np.float32)
+        np.testing.assert_array_equal(to_fp16(values), values)
+
+    def test_quantize_disabled(self):
+        value = np.array([1.0 + 2.0**-12], dtype=np.float32)
+        out = quantize_fp16(value, enabled=False)
+        assert out[0] != 1.0
+
+    def test_idempotent(self):
+        x = np.random.default_rng(0).standard_normal(100).astype(np.float32)
+        once = to_fp16(x)
+        np.testing.assert_array_equal(to_fp16(once), once)

@@ -1,0 +1,86 @@
+"""Tests for repro.workloads.video (the synthetic vision encoder)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.scene import random_scene
+from repro.workloads.video import RenderParams, render_video, token_positions
+
+
+@pytest.fixture(scope="module")
+def rendered(tiny_codebooks):
+    scene = random_scene(3, 4, 4, 2, seed=9)
+    tokens = render_video(scene, tiny_codebooks, RenderParams(), seed=9)
+    return scene, tokens
+
+
+class TestRender:
+    def test_shape(self, rendered, tiny_layout):
+        scene, tokens = rendered
+        assert tokens.shape == (scene.num_visual_tokens, tiny_layout.hidden)
+
+    def test_deterministic(self, tiny_codebooks):
+        scene = random_scene(2, 4, 4, 2, seed=4)
+        a = render_video(scene, tiny_codebooks, RenderParams(), seed=4)
+        b = render_video(scene, tiny_codebooks, RenderParams(), seed=4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_fhw_order(self, rendered):
+        scene, _ = rendered
+        positions = token_positions(scene)
+        width = scene.grid_width
+        height = scene.grid_height
+        linear = (positions[:, 0] * height * width
+                  + positions[:, 1] * width + positions[:, 2])
+        np.testing.assert_array_equal(linear, np.arange(len(linear)))
+
+    def test_object_kind_present_in_object_patch(self, tiny_codebooks,
+                                                 tiny_layout):
+        scene = random_scene(1, 6, 6, 1, seed=11)
+        tokens = render_video(scene, tiny_codebooks, RenderParams(), seed=11)
+        obj = scene.objects[0]
+        from repro.workloads.scene import coverage_map
+        cover = coverage_map(scene, 0)[0].ravel()
+        best = int(np.argmax(cover))
+        patch_obj = tokens[best][tiny_layout.object_slice]
+        sim = patch_obj @ tiny_codebooks.kind_codes[obj.kind_index]
+        assert sim > 0.5
+
+    def test_temporal_redundancy_of_background(self, tiny_codebooks,
+                                               tiny_layout):
+        # Co-located background patches across frames must be highly
+        # similar in the texture sub-space.
+        scene = random_scene(2, 6, 6, 1, seed=13)
+        tokens = render_video(scene, tiny_codebooks, RenderParams(), seed=13)
+        from repro.workloads.scene import coverage_map
+        cover = np.maximum(coverage_map(scene, 0).sum(0),
+                           coverage_map(scene, 1).sum(0)).ravel()
+        background = np.nonzero(cover == 0)[0]
+        assert background.size > 0
+        per_frame = tokens.reshape(2, 36, -1)
+        tex = tiny_layout.texture_slice
+        sims = []
+        for patch in background:
+            a = per_frame[0, patch][tex]
+            b = per_frame[1, patch][tex]
+            sims.append(a @ b / (np.linalg.norm(a) * np.linalg.norm(b)))
+        assert np.median(sims) > 0.7
+
+    def test_background_residue_nonzero(self, tiny_codebooks, tiny_layout):
+        scene = random_scene(1, 6, 6, 1, seed=17)
+        tokens = render_video(scene, tiny_codebooks, RenderParams(), seed=17)
+        from repro.workloads.scene import coverage_map
+        cover = coverage_map(scene, 0)[0].ravel()
+        background = int(np.argmin(cover))
+        obj_part = tokens[background][tiny_layout.object_slice]
+        assert np.linalg.norm(obj_part) > 0.05
+
+
+class TestTokenPositions:
+    def test_shape_and_range(self, rendered):
+        scene, _ = rendered
+        positions = token_positions(scene)
+        assert positions.shape == (scene.num_visual_tokens, 3)
+        assert positions[:, 0].max() == scene.num_frames - 1
+        assert positions[:, 1].max() == scene.grid_height - 1
+        assert positions[:, 2].max() == scene.grid_width - 1
