@@ -2,38 +2,48 @@
 
 Sweeps the four architectural knobs the paper studies — GEMM m-tile
 size, vector size, SIC block shape, and scatter accumulator count —
-and prints normalized latency / op-count trade-offs.
+through the experiment engine: all four sweeps declare their jobs up
+front, the engine dedupes the overlap (each sweep's default-config
+point is the *same* evaluation), and a worker pool fans out the rest.
 
-Run:  python examples/design_space_exploration.py
+Run:  python examples/design_space_exploration.py [--workers N]
 """
 
-from repro.eval.experiments import fig10a, fig10b, fig10c, fig10d
+import argparse
+
+from repro.engine import ExperimentEngine
+from repro.engine.registry import run_experiments
 from repro.eval.reporting import format_sweep
 
+SWEEPS = (
+    ("fig10a", "FIG 10(a): GEMM m-tile size (smaller tiles truncate windows)"),
+    ("fig10b", "FIG 10(b): vector size (array MACs vs accumulator ops)"),
+    ("fig10c", "FIG 10(c): SIC block shape f/h/w (temporal extent helps most)"),
+    ("fig10d", "FIG 10(d): scatter accumulators (64 is the knee)"),
+)
 
-def main(num_samples: int = 3) -> None:
-    print(format_sweep(
-        "FIG 10(a): GEMM m-tile size (smaller tiles truncate windows)",
-        fig10a(num_samples=num_samples),
-    ))
-    print()
-    print(format_sweep(
-        "FIG 10(b): vector size (array MACs vs accumulator ops)",
-        fig10b(num_samples=num_samples),
-    ))
-    print()
-    print(format_sweep(
-        "FIG 10(c): SIC block shape f/h/w (temporal extent helps most)",
-        fig10c(num_samples=num_samples),
-    ))
-    print()
-    print(format_sweep(
-        "FIG 10(d): scatter accumulators (64 is the knee)",
-        fig10d(num_samples=num_samples),
-    ))
-    print("\nExpected optima (paper Sec. VII-D): m-tile 1024, vector 32,"
+
+def main(num_samples: int = 3, workers: int = 1) -> None:
+    engine = ExperimentEngine(workers=workers)
+    results = run_experiments(
+        [name for name, _ in SWEEPS], engine, num_samples=num_samples
+    )
+    for name, title in SWEEPS:
+        print(format_sweep(title, results[name]))
+        print()
+    stats = engine.stats
+    print(
+        f"[engine: {stats.jobs_submitted} jobs declared, "
+        f"{stats.jobs_deduped + stats.cache_hits} shared across sweeps, "
+        f"{stats.executed} evaluated, workers={engine.workers}]"
+    )
+    print("Expected optima (paper Sec. VII-D): m-tile 1024, vector 32,"
           " block 2x2x2, 64 accumulators.")
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--samples", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=1)
+    args = parser.parse_args()
+    main(num_samples=args.samples, workers=args.workers)

@@ -1,14 +1,36 @@
-"""Command-line interface: regenerate any paper experiment.
+"""Command-line interface: regenerate any paper experiment through the
+experiment engine.
 
 Usage::
 
     python -m repro.cli list
     python -m repro.cli table2 --samples 8
-    python -m repro.cli fig9 --samples 4
-    python -m repro.cli fig10a fig10b --samples 2
+    python -m repro.cli fig9 --samples 4 --workers 4
+    python -m repro.cli table2 fig9 --samples 4      # shared cells run once
+    python -m repro.cli all --cache-dir ~/.cache/repro-focus
 
-Each experiment prints the paper-style rows produced by
-:mod:`repro.eval.reporting`.
+Experiments come from the declarative registry
+(:mod:`repro.engine.registry`); requesting several at once collects
+their jobs into *one* deduplicated schedule, so evaluations shared
+between tables and figures (Table II and Fig. 9 overlap on every video
+cell) are computed a single time.
+
+Flags:
+
+``--samples N``
+    Samples per evaluation cell (default: each driver's own default).
+``--seed S``
+    Experiment seed; all sample streams derive from it.
+``--workers N``
+    Process-pool size.  Results are bit-identical for any ``N``; only
+    wall-clock changes.
+``--cache-dir DIR``
+    On-disk content-addressed result cache.  A warm re-run of any
+    experiment performs zero new evaluations.
+``--no-cache``
+    Disable result caching (memory and disk) entirely.
+``--progress``
+    Stream per-job progress lines to stderr.
 """
 
 from __future__ import annotations
@@ -16,43 +38,16 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable
+from pathlib import Path
 
-from repro.eval import experiments as exp
-from repro.eval import reporting as rep
-
-EXPERIMENTS: dict[str, tuple[Callable, Callable, str]] = {
-    "table2": (exp.table2, rep.format_table2,
-               "accuracy and sparsity of all methods (Table II)"),
-    "table3": (exp.table3, rep.format_table3,
-               "architecture config comparison (Table III)"),
-    "table4": (exp.table4, rep.format_table4,
-               "INT8 quantization synergy (Table IV)"),
-    "table5": (exp.table5, rep.format_table5,
-               "image-VLM generalization (Table V)"),
-    "fig2b": (exp.fig2b, rep.format_fig2b,
-              "similarity CDF vs vector size (Fig. 2b)"),
-    "fig2c": (exp.fig2c, rep.format_fig2c,
-              "sparsity/accuracy bars (Fig. 2c)"),
-    "fig9": (exp.fig9, rep.format_fig9,
-             "speedup + energy vs baselines (Fig. 9)"),
-    "fig10a": (exp.fig10a,
-               lambda p: rep.format_sweep("FIG 10(a): m-tile size", p),
-               "DSE: GEMM m-tile size (Fig. 10a)"),
-    "fig10b": (exp.fig10b,
-               lambda p: rep.format_sweep("FIG 10(b): vector size", p),
-               "DSE: vector size (Fig. 10b)"),
-    "fig10c": (exp.fig10c,
-               lambda p: rep.format_sweep("FIG 10(c): block size", p),
-               "DSE: SIC block size (Fig. 10c)"),
-    "fig10d": (exp.fig10d,
-               lambda p: rep.format_sweep("FIG 10(d): accumulators", p),
-               "DSE: scatter accumulators (Fig. 10d)"),
-    "fig11": (exp.fig11, rep.format_fig11, "ablation study (Fig. 11)"),
-    "fig12": (exp.fig12, rep.format_fig12, "memory access (Fig. 12)"),
-    "fig13": (exp.fig13, rep.format_fig13,
-              "tile lengths + utilization (Fig. 13)"),
-}
+from repro.engine import ExperimentEngine, ProgressEvent, ResultCache
+from repro.engine import registry
+from repro.engine.registry import (
+    EXPERIMENT_REGISTRY,
+    experiment_names,
+    get_spec,
+)
+from repro.eval import reporting as rep  # noqa: F401  (attaches formatters)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -71,36 +66,129 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=0, help="experiment seed",
     )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (results are identical for any count)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="on-disk result cache directory (reused across runs)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the evaluation result cache",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="stream per-job progress to stderr",
+    )
     return parser
 
 
-def run_experiment(name: str, samples: int | None, seed: int) -> str:
-    driver, formatter, _ = EXPERIMENTS[name]
-    kwargs: dict = {"seed": seed}
+def _print_progress(event: ProgressEvent) -> None:
+    print(
+        f"[engine {event.completed}/{event.total} "
+        f"{event.elapsed_s:6.1f}s] {event.action:9s} "
+        f"{event.job.describe()}",
+        file=sys.stderr,
+    )
+
+
+def make_engine(
+    workers: int = 1,
+    cache_dir: str | None = None,
+    no_cache: bool = False,
+    progress: bool = False,
+) -> ExperimentEngine:
+    """Build an engine from CLI-style options."""
+    cache = ResultCache(cache_dir=cache_dir, enabled=not no_cache)
+    return ExperimentEngine(
+        workers=workers,
+        cache=cache,
+        progress=_print_progress if progress else None,
+    )
+
+
+def run_experiment(
+    name: str,
+    samples: int | None = None,
+    seed: int = 0,
+    engine: ExperimentEngine | None = None,
+) -> str:
+    """Run one experiment and return its formatted report."""
+    text, = run_experiments([name], samples, seed, engine).values()
+    return text
+
+
+def run_experiments(
+    names: list[str],
+    samples: int | None = None,
+    seed: int = 0,
+    engine: ExperimentEngine | None = None,
+) -> dict[str, str]:
+    """Run several experiments as one schedule; return formatted reports.
+
+    Jobs are collected from every requested experiment before anything
+    executes, so duplicates across experiments are evaluated once.
+    """
+    engine = engine if engine is not None else make_engine()
+    params: dict = {"seed": seed}
     if samples is not None:
-        kwargs["num_samples"] = samples
-    result = driver(**kwargs)
-    return formatter(result)
+        params["num_samples"] = samples
+    results = registry.run_experiments(names, engine, **params)
+    reports = {}
+    for name, result in results.items():
+        formatter = get_spec(name).formatter
+        reports[name] = (
+            formatter(result) if formatter is not None else repr(result)
+        )
+    return reports
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     names = list(args.experiments)
+    available = experiment_names()
     if names == ["list"]:
-        for name, (_, _, description) in EXPERIMENTS.items():
-            print(f"  {name:10s} {description}")
+        for name in available:
+            print(f"  {name:10s} {EXPERIMENT_REGISTRY[name].description}")
         return 0
     if names == ["all"]:
-        names = list(EXPERIMENTS)
-    unknown = [n for n in names if n not in EXPERIMENTS]
+        names = list(available)
+    unknown = [n for n in names if n not in available]
     if unknown:
         print(f"unknown experiments: {unknown}; try 'list'",
               file=sys.stderr)
         return 2
+    if args.cache_dir is not None:
+        cache_path = Path(args.cache_dir)
+        if cache_path.exists() and not cache_path.is_dir():
+            print(
+                f"--cache-dir {args.cache_dir!r} exists and is not a "
+                "directory", file=sys.stderr,
+            )
+            return 2
+
+    engine = make_engine(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
+        progress=args.progress,
+    )
+    start = time.time()
+    reports = run_experiments(names, args.samples, args.seed, engine)
     for name in names:
-        start = time.time()
-        print(run_experiment(name, args.samples, args.seed))
-        print(f"[{name} done in {time.time() - start:.1f}s]\n")
+        print(reports[name])
+        print()
+    stats = engine.stats
+    cache = engine.cache.stats
+    print(
+        f"[{', '.join(names)} done in {time.time() - start:.1f}s | "
+        f"jobs: {stats.jobs_submitted} submitted, "
+        f"{stats.jobs_deduped} deduped, {stats.cache_hits} cached "
+        f"({cache.disk_hits} from disk), {stats.executed} executed | "
+        f"workers={engine.workers}]"
+    )
     return 0
 
 

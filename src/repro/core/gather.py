@@ -10,6 +10,7 @@ FHW position) are always stored as unique.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -17,6 +18,14 @@ import numpy as np
 from repro.config import FocusConfig
 from repro.core.blocks import build_neighbor_table, comparisons_in_table
 from repro.core.matching import SimilarityMatcher
+
+TABLE_CACHE_MAX_ENTRIES = 64
+"""Upper bound on cached neighbor tables per gather engine.
+
+A forward pass needs at most ``ceil(tokens / m_tile)`` tables per
+token set, so 64 comfortably covers every model in the zoo while
+keeping a long-lived gather (streaming service, benchmark loop) at
+bounded memory."""
 
 
 @dataclass
@@ -74,7 +83,8 @@ class SimilarityGather:
         self.config = config
         self.token_wise = token_wise
         self.matcher = SimilarityMatcher(config.similarity_threshold)
-        self._table_cache: dict[tuple, np.ndarray] = {}
+        self._table_cache: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self._current_cache_token: object | None = None
 
     def _neighbor_table(
         self,
@@ -88,10 +98,16 @@ class SimilarityGather:
 
         Text rows receive no partners.  Tables are cached per
         ``(cache_token, tile)`` because the token set only changes at
-        semantic-pruning layers.
+        semantic-pruning layers.  The cache is bounded: entries from
+        stale cache tokens are evicted when a new token arrives (token
+        sets only move forward through a pass), and an LRU cap of
+        :data:`TABLE_CACHE_MAX_ENTRIES` guards against pathological
+        token churn, so memory stays flat across arbitrarily many
+        samples.
         """
         key = (cache_token, tile)
         if cache_token is not None and key in self._table_cache:
+            self._table_cache.move_to_end(key)
             return self._table_cache[key]
 
         start, stop = tile
@@ -111,7 +127,16 @@ class SimilarityGather:
             table[image_local, : expanded.shape[1]] = expanded
 
         if cache_token is not None:
+            if cache_token != self._current_cache_token:
+                stale = [
+                    k for k in self._table_cache if k[0] != cache_token
+                ]
+                for k in stale:
+                    del self._table_cache[k]
+                self._current_cache_token = cache_token
             self._table_cache[key] = table
+            while len(self._table_cache) > TABLE_CACHE_MAX_ENTRIES:
+                self._table_cache.popitem(last=False)
         return table
 
     def _block(self) -> tuple[int, int, int]:

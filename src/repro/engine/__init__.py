@@ -1,0 +1,59 @@
+"""Experiment engine: declarative specs, a shared evaluation cache,
+and parallel workers.
+
+See ``src/repro/engine/ARCHITECTURE.md`` for the design note.
+"""
+
+from repro.engine.cache import MISS, CacheStats, ResultCache
+from repro.engine.jobs import (
+    ENGINE_CACHE_VERSION,
+    EvalJob,
+    config_digest,
+    derive_seed,
+    execute_job,
+    register_job_kind,
+)
+from repro.engine.registry import (
+    EXPERIMENT_REGISTRY,
+    ExperimentPlan,
+    ExperimentSpec,
+    default_engine,
+    experiment_names,
+    get_spec,
+    register,
+    reset_default_engine,
+    run_experiments,
+    run_plan,
+    set_formatter,
+)
+from repro.engine.scheduler import (
+    EngineStats,
+    ExperimentEngine,
+    ProgressEvent,
+)
+
+__all__ = [
+    "MISS",
+    "CacheStats",
+    "ResultCache",
+    "ENGINE_CACHE_VERSION",
+    "EvalJob",
+    "config_digest",
+    "derive_seed",
+    "execute_job",
+    "register_job_kind",
+    "EXPERIMENT_REGISTRY",
+    "ExperimentPlan",
+    "ExperimentSpec",
+    "default_engine",
+    "experiment_names",
+    "get_spec",
+    "register",
+    "reset_default_engine",
+    "run_experiments",
+    "run_plan",
+    "set_formatter",
+    "EngineStats",
+    "ExperimentEngine",
+    "ProgressEvent",
+]

@@ -1,0 +1,137 @@
+"""Content-addressed result cache: in-memory with optional disk tier.
+
+Every payload is stored under its job's content address
+(:attr:`repro.engine.jobs.EvalJob.job_id`), which hashes the full job
+key plus a cache-format version.  A hit therefore *is* the result —
+there is no invalidation logic, only keys that were never written.
+
+The memory tier makes any evaluation compute at most once per process;
+the disk tier (``cache_dir``) extends that across CLI invocations.
+Disk writes are atomic (temp file + rename) so a crashed run can never
+leave a truncated entry that poisons a later one.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.engine.jobs import EvalJob
+
+MISS = object()
+"""Sentinel returned by :meth:`ResultCache.get` on a miss (payloads may
+legitimately be falsy)."""
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, cumulative over the cache's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0 when idle)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "stores": self.stores,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ResultCache:
+    """Two-tier (memory + disk) content-addressed job-result cache.
+
+    Args:
+        cache_dir: Directory for the disk tier; ``None`` keeps the
+            cache memory-only.  Created on first write.
+        enabled: When ``False`` every lookup misses and nothing is
+            stored (the CLI's ``--no-cache``).
+    """
+
+    def __init__(
+        self, cache_dir: str | os.PathLike | None = None,
+        enabled: bool = True,
+    ) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.enabled = enabled
+        self.stats = CacheStats()
+        self._memory: dict[str, Any] = {}
+
+    def _path(self, job: EvalJob) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / f"{job.job_id}.pkl"
+
+    def get(self, job: EvalJob) -> Any:
+        """Return the cached payload for ``job`` or :data:`MISS`."""
+        if not self.enabled:
+            self.stats.misses += 1
+            return MISS
+        payload = self._memory.get(job.job_id, MISS)
+        if payload is not MISS:
+            self.stats.hits += 1
+            self.stats.memory_hits += 1
+            return payload
+        if self.cache_dir is not None:
+            path = self._path(job)
+            if path.exists():
+                try:
+                    with path.open("rb") as fh:
+                        payload = pickle.load(fh)
+                except (OSError, pickle.UnpicklingError, EOFError,
+                        AttributeError, ImportError):
+                    # Unreadable entry: drop it and recompute.
+                    path.unlink(missing_ok=True)
+                else:
+                    self._memory[job.job_id] = payload
+                    self.stats.hits += 1
+                    self.stats.disk_hits += 1
+                    return payload
+        self.stats.misses += 1
+        return MISS
+
+    def put(self, job: EvalJob, payload: Any) -> None:
+        """Store a payload in both tiers."""
+        if not self.enabled:
+            return
+        self._memory[job.job_id] = payload
+        self.stats.stores += 1
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=self.cache_dir, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(payload, fh, pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, self._path(job))
+            except BaseException:
+                os.unlink(tmp)
+                raise
+
+    def clear_memory(self) -> None:
+        """Drop the memory tier (disk entries survive)."""
+        self._memory.clear()
+
+    def __len__(self) -> int:
+        return len(self._memory)

@@ -1,0 +1,149 @@
+"""Declarative experiment registry.
+
+Every table/figure driver declares an :class:`ExperimentPlan` — the
+jobs it needs plus a pure ``assemble(results)`` step — through the
+:func:`register` decorator.  The engine can then collect jobs from
+*several* experiments, dedupe across them, execute one schedule, and
+hand each experiment its slice of the results.
+
+Formatters (paper-style text renderers) are attached separately by
+:mod:`repro.eval.reporting` via :func:`set_formatter`, keeping the
+registry import-light.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.engine.cache import ResultCache
+from repro.engine.jobs import EvalJob
+from repro.engine.scheduler import ExperimentEngine
+
+PlanFactory = Callable[..., "ExperimentPlan"]
+Assembler = Callable[[Mapping[EvalJob, Any]], Any]
+
+
+@dataclass(frozen=True)
+class ExperimentPlan:
+    """One experiment's declared work.
+
+    Attributes:
+        jobs: Evaluations the experiment needs (duplicates allowed;
+            the engine collapses them).
+        assemble: Pure function from the engine's results mapping to
+            the experiment's result object.  It must not evaluate
+            anything itself — only simulate, aggregate, and format —
+            so caching and parallelism stay complete.
+    """
+
+    jobs: tuple[EvalJob, ...]
+    assemble: Assembler
+
+
+@dataclass
+class ExperimentSpec:
+    """Registry entry: how to plan, assemble, and render an experiment."""
+
+    name: str
+    description: str
+    plan: PlanFactory
+    formatter: Callable[[Any], str] | None = None
+
+
+EXPERIMENT_REGISTRY: dict[str, ExperimentSpec] = {}
+
+
+def register(
+    name: str, description: str
+) -> Callable[[PlanFactory], PlanFactory]:
+    """Decorator registering a plan factory as a named experiment."""
+
+    def deco(plan: PlanFactory) -> PlanFactory:
+        EXPERIMENT_REGISTRY[name] = ExperimentSpec(
+            name=name, description=description, plan=plan
+        )
+        return plan
+
+    return deco
+
+
+def set_formatter(name: str, formatter: Callable[[Any], str]) -> None:
+    """Attach a paper-style text renderer to a registered experiment."""
+    get_spec(name).formatter = formatter
+
+
+def _ensure_loaded() -> None:
+    """Import the modules that register experiments (idempotent)."""
+    importlib.import_module("repro.eval.experiments")
+
+
+def get_spec(name: str) -> ExperimentSpec:
+    """Look up an experiment by name."""
+    _ensure_loaded()
+    try:
+        return EXPERIMENT_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; "
+            f"available: {sorted(EXPERIMENT_REGISTRY)}"
+        ) from None
+
+
+def experiment_names() -> tuple[str, ...]:
+    """All registered experiment names, in registration order."""
+    _ensure_loaded()
+    return tuple(EXPERIMENT_REGISTRY)
+
+
+_default_engine: ExperimentEngine | None = None
+
+
+def default_engine() -> ExperimentEngine:
+    """Process-wide serial engine with a shared in-memory cache.
+
+    Library-level driver wrappers route through this engine, so any
+    evaluation is computed at most once per session even when callers
+    never touch the engine API.
+    """
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = ExperimentEngine(workers=1, cache=ResultCache())
+    return _default_engine
+
+
+def reset_default_engine() -> None:
+    """Drop the shared engine (tests use this for isolation)."""
+    global _default_engine
+    _default_engine = None
+
+
+def run_plan(
+    plan: ExperimentPlan, engine: ExperimentEngine | None = None
+) -> Any:
+    """Execute one plan and assemble its result."""
+    engine = engine if engine is not None else default_engine()
+    return plan.assemble(engine.run(plan.jobs))
+
+
+def run_experiments(
+    names: Iterable[str],
+    engine: ExperimentEngine | None = None,
+    **params: Any,
+) -> dict[str, Any]:
+    """Run several experiments as one deduplicated schedule.
+
+    ``params`` (e.g. ``num_samples``, ``seed``) are forwarded to every
+    plan factory.  Jobs shared between experiments — Table II and
+    Fig. 9 overlap on every video cell, for example — are evaluated
+    once.
+
+    Returns:
+        Mapping from experiment name to its assembled result.
+    """
+    engine = engine if engine is not None else default_engine()
+    plans = {name: get_spec(name).plan(**params) for name in names}
+    all_jobs = [job for plan in plans.values() for job in plan.jobs]
+    results = engine.run(all_jobs)
+    return {name: plan.assemble(results) for name, plan in plans.items()}

@@ -1,0 +1,202 @@
+"""The experiment engine: dedupe, cache, and execute job batches.
+
+:class:`ExperimentEngine` takes a batch of :class:`~repro.engine.jobs.
+EvalJob` objects — possibly collected from *several* experiments —
+collapses duplicates by key, serves what it can from the result cache,
+and runs the remainder either in-process (``workers=1``) or on a
+:class:`~concurrent.futures.ProcessPoolExecutor`.  Progress events
+stream to an optional callback as jobs finish.
+
+Because every job is a pure function of its key (see
+:mod:`repro.engine.jobs`), parallel execution is bit-identical to
+serial execution: worker count and completion order influence only
+wall-clock time, never results.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.engine.cache import MISS, ResultCache
+from repro.engine.jobs import EvalJob, execute_job
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One streamed scheduling event.
+
+    Attributes:
+        action: ``"cache-hit"``, ``"started"`` or ``"completed"``.
+        job: The job the event refers to.
+        completed: Jobs finished so far (including cache hits).
+        total: Unique jobs in this batch.
+        elapsed_s: Seconds since the batch started.
+    """
+
+    action: str
+    job: EvalJob
+    completed: int
+    total: int
+    elapsed_s: float = 0.0
+
+
+ProgressCallback = Callable[[ProgressEvent], None]
+
+
+@dataclass
+class EngineStats:
+    """Cumulative scheduling counters (one engine's lifetime).
+
+    ``executed`` counts actual evaluation calls; the acceptance
+    criterion "a warm-cache re-run performs zero new ``evaluate()``
+    calls" is checked against it.
+    """
+
+    jobs_submitted: int = 0
+    jobs_unique: int = 0
+    jobs_deduped: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    wall_s: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "jobs_submitted": self.jobs_submitted,
+            "jobs_unique": self.jobs_unique,
+            "jobs_deduped": self.jobs_deduped,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "wall_s": self.wall_s,
+        }
+
+    def delta(self, earlier: "EngineStats") -> "EngineStats":
+        """Counters accumulated since an earlier snapshot."""
+        return EngineStats(
+            jobs_submitted=self.jobs_submitted - earlier.jobs_submitted,
+            jobs_unique=self.jobs_unique - earlier.jobs_unique,
+            jobs_deduped=self.jobs_deduped - earlier.jobs_deduped,
+            cache_hits=self.cache_hits - earlier.cache_hits,
+            executed=self.executed - earlier.executed,
+            wall_s=self.wall_s - earlier.wall_s,
+        )
+
+    def snapshot(self) -> "EngineStats":
+        return EngineStats(**self.as_dict())
+
+
+class ExperimentEngine:
+    """Schedules deduplicated job batches over a cache and worker pool.
+
+    Args:
+        workers: Process-pool size; ``1`` executes in-process (still
+            through the cache).
+        cache: Result cache; defaults to a fresh memory-only cache.
+        progress: Optional streaming callback invoked from the
+            scheduling process as jobs hit the cache, start, and
+            complete.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: ResultCache | None = None,
+        progress: ProgressCallback | None = None,
+    ) -> None:
+        self.workers = max(1, int(workers))
+        self.cache = cache if cache is not None else ResultCache()
+        self.progress = progress
+        self.stats = EngineStats()
+
+    # -- internals ---------------------------------------------------
+
+    def _emit(
+        self, action: str, job: EvalJob, completed: int, total: int,
+        start: float,
+    ) -> None:
+        if self.progress is not None:
+            self.progress(ProgressEvent(
+                action=action, job=job, completed=completed, total=total,
+                elapsed_s=time.perf_counter() - start,
+            ))
+
+    def _run_serial(
+        self, pending: list[EvalJob], results: dict[EvalJob, Any],
+        total: int, start: float,
+    ) -> None:
+        for job in pending:
+            self._emit("started", job, len(results), total, start)
+            payload = execute_job(job)
+            self.stats.executed += 1
+            self.cache.put(job, payload)
+            results[job] = payload
+            self._emit("completed", job, len(results), total, start)
+
+    def _run_pool(
+        self, pending: list[EvalJob], results: dict[EvalJob, Any],
+        total: int, start: float,
+    ) -> None:
+        workers = min(self.workers, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {}
+            for job in pending:
+                futures[pool.submit(execute_job, job)] = job
+                self._emit("started", job, len(results), total, start)
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(
+                    outstanding, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    job = futures[future]
+                    payload = future.result()
+                    self.stats.executed += 1
+                    self.cache.put(job, payload)
+                    results[job] = payload
+                    self._emit(
+                        "completed", job, len(results), total, start
+                    )
+
+    # -- public API --------------------------------------------------
+
+    def run(self, jobs: Iterable[EvalJob]) -> Mapping[EvalJob, Any]:
+        """Execute a job batch; return payloads keyed by job.
+
+        Duplicate jobs (equal keys) are computed once; the returned
+        mapping resolves *any* submitted job, duplicate or not, since
+        jobs hash by key.
+        """
+        start = time.perf_counter()
+        submitted = list(jobs)
+        unique: dict[EvalJob, None] = {}
+        for job in submitted:
+            unique.setdefault(job, None)
+        ordered = list(unique)
+
+        self.stats.jobs_submitted += len(submitted)
+        self.stats.jobs_unique += len(ordered)
+        self.stats.jobs_deduped += len(submitted) - len(ordered)
+
+        results: dict[EvalJob, Any] = {}
+        pending: list[EvalJob] = []
+        for job in ordered:
+            payload = self.cache.get(job)
+            if payload is not MISS:
+                self.stats.cache_hits += 1
+                results[job] = payload
+                self._emit(
+                    "cache-hit", job, len(results), len(ordered), start
+                )
+            else:
+                pending.append(job)
+
+        if pending:
+            if self.workers == 1 or len(pending) == 1:
+                self._run_serial(pending, results, len(ordered), start)
+            else:
+                self._run_pool(pending, results, len(ordered), start)
+
+        self.stats.wall_s += time.perf_counter() - start
+        return results

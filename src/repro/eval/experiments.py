@@ -1,9 +1,18 @@
-"""Experiment drivers: one function per table/figure of the paper.
+"""Experiment drivers: one declarative plan per table/figure.
 
-Each driver runs the algorithm on the synthetic VLMs, simulates the
-resulting traces at paper-scale geometry where the figure reports
-hardware quantities, and returns a structured result that
-:mod:`repro.eval.reporting` renders in the paper's layout.
+Each experiment declares an :class:`~repro.engine.registry.
+ExperimentPlan` — the :class:`~repro.engine.jobs.EvalJob` batch it
+needs plus a pure ``assemble(results)`` step that simulates traces at
+paper-scale geometry and lays the numbers out the way the paper does.
+The engine collects jobs from any set of experiments, dedupes them
+(Table II and Fig. 9 share every video cell, for instance), serves
+repeats from the result cache, and can fan the remainder out over a
+worker pool.
+
+The classic callable drivers (``table2(...)``, ``fig9(...)``) survive
+as thin wrappers that run their plan on the process-wide default
+engine, so existing callers keep working — they just stop recomputing
+evaluations the session has already paid for.
 
 The sample-count defaults are sized for the benchmark harness; all
 drivers accept ``num_samples`` for quicker smoke runs.
@@ -11,41 +20,59 @@ drivers accept ``num_samples`` for quicker smoke runs.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
 
 import numpy as np
 
-from repro.accel.arch import ADAPTIV, CMC, FOCUS, METHOD_TO_ARCH, SYSTOLIC, ArchConfig
+from repro.accel.arch import ADAPTIV, CMC, FOCUS, SYSTOLIC, ArchConfig
 from repro.accel.area import area_breakdown, total_area_mm2
 from repro.accel.scaling import PAPER_IMAGE_TOKENS, PAPER_TEXT_TOKENS, scale_to_paper
 from repro.accel.simulator import SimResult, simulate_many
 from repro.accel.systolic import tile_utilization
-from repro.accel.trace import ModelTrace
 from repro.baselines.gpu import JETSON_ORIN_NANO, simulate_gpu
-from repro.config import DEFAULT_CONFIG, FocusConfig
-from repro.core.pipeline import FocusPlugin
+from repro.config import DEFAULT_CONFIG
+from repro.engine.jobs import EvalJob
+from repro.engine.registry import ExperimentPlan, register, run_plan
+from repro.engine.scheduler import ExperimentEngine
 from repro.eval.metrics import EvalResult
-from repro.eval.runner import ModelCache, evaluate, evaluate_samples
-from repro.model.plugins import InferencePlugin
-from repro.model.zoo import IMAGE_MODELS, VIDEO_MODELS
-from repro.quant.int8 import Int8ActivationPlugin, quantize_model
-from repro.workloads.datasets import make_dataset
+from repro.model.zoo import IMAGE_MODELS, VIDEO_MODELS, get_model_config
 
 VIDEO_DATASETS = ("videomme", "mlvu", "mvbench")
 IMAGE_DATASETS = ("vqav2", "mme", "mmbench")
 TABLE2_METHODS = ("dense", "framefusion", "adaptiv", "cmc", "focus")
+
+Results = Mapping[EvalJob, Any]
 
 
 def _paper_scale_sim(
     result: EvalResult, arch: ArchConfig, target_tokens: int | None = None
 ) -> SimResult:
     """Simulate an evaluation's traces at paper-scale geometry."""
-    hidden = ModelCache.get(result.model).config.hidden
+    hidden = get_model_config(result.model).hidden
     scaled = [
         scale_to_paper(trace, hidden, target_tokens)
         for trace in result.traces
     ]
     return simulate_many(scaled, arch)
+
+
+def _engine_driver(plan_fn: Callable[..., ExperimentPlan]) -> Callable:
+    """Wrap a plan factory as a classic callable driver.
+
+    The wrapper accepts the factory's signature plus an optional
+    ``engine`` keyword; without one it runs on the process-wide
+    default engine (serial, shared in-memory cache).
+    """
+
+    @functools.wraps(plan_fn)
+    def driver(*args, engine: ExperimentEngine | None = None, **kwargs):
+        return run_plan(plan_fn(*args, **kwargs), engine)
+
+    driver.__name__ = plan_fn.__name__.removeprefix("plan_")
+    driver.__qualname__ = driver.__name__
+    return driver
 
 
 # ---------------------------------------------------------------------------
@@ -64,23 +91,36 @@ class Table2Result:
     methods: tuple[str, ...] = TABLE2_METHODS
 
 
-def table2(
+@register("table2", "accuracy and sparsity of all methods (Table II)")
+def plan_table2(
     models: tuple[str, ...] = VIDEO_MODELS,
     datasets: tuple[str, ...] = VIDEO_DATASETS,
     methods: tuple[str, ...] = TABLE2_METHODS,
     num_samples: int = 8,
     seed: int = 0,
-) -> Table2Result:
+) -> ExperimentPlan:
     """Reproduce Table II: accuracy and sparsity of all methods."""
-    result = Table2Result(models=models, datasets=datasets, methods=methods)
-    for model in models:
-        for dataset in datasets:
-            for method in methods:
-                cell = evaluate(model, dataset, method, num_samples, seed)
-                result.cells[(model, dataset, method)] = (
-                    cell.accuracy, cell.sparsity
-                )
-    return result
+    jobs = tuple(
+        EvalJob(model=model, dataset=dataset, method=method,
+                num_samples=num_samples, seed=seed)
+        for model in models
+        for dataset in datasets
+        for method in methods
+    )
+
+    def assemble(results: Results) -> Table2Result:
+        result = Table2Result(
+            models=tuple(models), datasets=tuple(datasets),
+            methods=tuple(methods),
+        )
+        for job in jobs:
+            cell = results[job]
+            result.cells[(job.model, job.dataset, job.method)] = (
+                cell.accuracy, cell.sparsity
+            )
+        return result
+
+    return ExperimentPlan(jobs, assemble)
 
 
 # ---------------------------------------------------------------------------
@@ -99,31 +139,43 @@ class Table3Row:
     on_chip_power_mw: float
 
 
-def table3(num_samples: int = 2, seed: int = 0) -> list[Table3Row]:
+_TABLE3_ARCHS = (
+    (SYSTOLIC, "dense"),
+    (ADAPTIV, "adaptiv"),
+    (CMC, "cmc"),
+    (FOCUS, "focus"),
+)
+
+
+@register("table3", "architecture config comparison (Table III)")
+def plan_table3(num_samples: int = 2, seed: int = 0) -> ExperimentPlan:
     """Reproduce Table III: per-architecture config, area and power.
 
     Power is measured on the Llava-Video / VideoMME workload, as in the
     paper.
     """
-    rows = []
-    arch_method = (
-        (SYSTOLIC, "dense"),
-        (ADAPTIV, "adaptiv"),
-        (CMC, "cmc"),
-        (FOCUS, "focus"),
-    )
-    for arch, method in arch_method:
-        cell = evaluate("llava-video", "videomme", method, num_samples, seed)
-        sim = _paper_scale_sim(cell, arch)
-        rows.append(Table3Row(
-            name=arch.name,
-            pe_array=f"{arch.pe_rows}x{arch.pe_cols}",
-            buffer_kb=arch.buffer_kb,
-            dram_bandwidth_gbs=arch.dram_bandwidth_gbs,
-            area_mm2=total_area_mm2(arch),
-            on_chip_power_mw=sim.on_chip_power_w(arch.frequency_hz) * 1e3,
-        ))
-    return rows
+    jobs = {
+        method: EvalJob(model="llava-video", dataset="videomme",
+                        method=method, num_samples=num_samples, seed=seed)
+        for _, method in _TABLE3_ARCHS
+    }
+
+    def assemble(results: Results) -> list[Table3Row]:
+        rows = []
+        for arch, method in _TABLE3_ARCHS:
+            cell = results[jobs[method]]
+            sim = _paper_scale_sim(cell, arch)
+            rows.append(Table3Row(
+                name=arch.name,
+                pe_array=f"{arch.pe_rows}x{arch.pe_cols}",
+                buffer_kb=arch.buffer_kb,
+                dram_bandwidth_gbs=arch.dram_bandwidth_gbs,
+                area_mm2=total_area_mm2(arch),
+                on_chip_power_mw=sim.on_chip_power_w(arch.frequency_hz) * 1e3,
+            ))
+        return rows
+
+    return ExperimentPlan(tuple(jobs.values()), assemble)
 
 
 # ---------------------------------------------------------------------------
@@ -144,56 +196,53 @@ class Table4Row:
     sparsity_degrade: float
 
 
-def table4(
+@register("table4", "INT8 quantization synergy (Table IV)")
+def plan_table4(
     models: tuple[str, ...] = VIDEO_MODELS,
     datasets: tuple[str, ...] = VIDEO_DATASETS,
     num_samples: int = 8,
     seed: int = 0,
-) -> list[Table4Row]:
-    """Reproduce Table IV: INT8 impact on accuracy and sparsity."""
-    rows = []
-    for model_name in models:
-        model = ModelCache.get(model_name)
-        model_int8 = quantize_model(model)
-        for dataset in datasets:
-            samples = make_dataset(
-                dataset, model.config.layout, num_samples, seed=seed
-            )
-            dense16 = evaluate_samples(model, samples, "dense")
-            focus16 = evaluate_samples(model, samples, "focus")
+) -> ExperimentPlan:
+    """Reproduce Table IV: INT8 impact on accuracy and sparsity.
 
-            dense8 = EvalResult(model=model_name, dataset=dataset,
-                                method="dense-int8")
-            focus8 = EvalResult(model=model_name, dataset=dataset,
-                                method="focus-int8")
-            for sample in samples:
-                outcome = model_int8.forward(
-                    sample, Int8ActivationPlugin()
-                )
-                dense8.correct.append(outcome.correct)
-                dense8.sparsities.append(0.0)
-                plugin = Int8ActivationPlugin(
-                    FocusPlugin(model_int8, DEFAULT_CONFIG)
-                )
-                outcome = model_int8.forward(sample, plugin)
-                focus8.correct.append(outcome.correct)
-                dense_ops = model.config.dense_macs(
-                    sample.num_visual_tokens, sample.num_text_tokens
-                )
-                focus8.sparsities.append(
-                    1.0 - outcome.trace.total_macs / dense_ops
-                )
-            rows.append(Table4Row(
-                model=model_name,
-                dataset=dataset,
-                dense_acc=dense8.accuracy,
-                dense_degrade=dense16.accuracy - dense8.accuracy,
-                ours_acc=focus8.accuracy,
-                ours_degrade=focus16.accuracy - focus8.accuracy,
-                ours_sparsity=focus8.sparsity,
-                sparsity_degrade=focus16.sparsity - focus8.sparsity,
-            ))
-    return rows
+    The INT8 arms are ordinary jobs with ``quantized=True`` — the
+    runner swaps in the INT8-weight model and wraps each method plugin
+    in activation rounding, so they cache and parallelize like every
+    other cell.
+    """
+    arms = (("dense", False), ("focus", False),
+            ("dense", True), ("focus", True))
+    jobs = {
+        (model, dataset, method, quant): EvalJob(
+            model=model, dataset=dataset, method=method,
+            num_samples=num_samples, seed=seed, quantized=quant,
+        )
+        for model in models
+        for dataset in datasets
+        for method, quant in arms
+    }
+
+    def assemble(results: Results) -> list[Table4Row]:
+        rows = []
+        for model in models:
+            for dataset in datasets:
+                dense16 = results[jobs[(model, dataset, "dense", False)]]
+                focus16 = results[jobs[(model, dataset, "focus", False)]]
+                dense8 = results[jobs[(model, dataset, "dense", True)]]
+                focus8 = results[jobs[(model, dataset, "focus", True)]]
+                rows.append(Table4Row(
+                    model=model,
+                    dataset=dataset,
+                    dense_acc=dense8.accuracy,
+                    dense_degrade=dense16.accuracy - dense8.accuracy,
+                    ours_acc=focus8.accuracy,
+                    ours_degrade=focus16.accuracy - focus8.accuracy,
+                    ours_sparsity=focus8.sparsity,
+                    sparsity_degrade=focus16.sparsity - focus8.sparsity,
+                ))
+        return rows
+
+    return ExperimentPlan(tuple(jobs.values()), assemble)
 
 
 # ---------------------------------------------------------------------------
@@ -213,54 +262,53 @@ class Table5Row:
     ours_speedup: float
 
 
-def table5(
+@register("table5", "image-VLM generalization (Table V)")
+def plan_table5(
     models: tuple[str, ...] = IMAGE_MODELS,
     datasets: tuple[str, ...] = IMAGE_DATASETS,
     num_samples: int = 8,
     seed: int = 0,
-) -> list[Table5Row]:
+) -> ExperimentPlan:
     """Reproduce Table V: single-image VLMs (one-frame videos)."""
     target_tokens = PAPER_IMAGE_TOKENS + PAPER_TEXT_TOKENS
-    rows = []
-    for model in models:
-        for dataset in datasets:
-            dense = evaluate(model, dataset, "dense", num_samples, seed)
-            ada = evaluate(model, dataset, "adaptiv", num_samples, seed)
-            ours = evaluate(model, dataset, "focus", num_samples, seed)
-            sim_dense = _paper_scale_sim(dense, SYSTOLIC, target_tokens)
-            sim_ada = _paper_scale_sim(ada, ADAPTIV, target_tokens)
-            sim_ours = _paper_scale_sim(ours, FOCUS, target_tokens)
-            rows.append(Table5Row(
-                model=model,
-                dataset=dataset,
-                dense_acc=dense.accuracy,
-                adaptiv_acc=ada.accuracy,
-                adaptiv_speedup=sim_dense.cycles / max(sim_ada.cycles, 1),
-                ours_acc=ours.accuracy,
-                ours_speedup=sim_dense.cycles / max(sim_ours.cycles, 1),
-            ))
-    return rows
+    methods = ("dense", "adaptiv", "focus")
+    jobs = {
+        (model, dataset, method): EvalJob(
+            model=model, dataset=dataset, method=method,
+            num_samples=num_samples, seed=seed,
+        )
+        for model in models
+        for dataset in datasets
+        for method in methods
+    }
+
+    def assemble(results: Results) -> list[Table5Row]:
+        rows = []
+        for model in models:
+            for dataset in datasets:
+                dense = results[jobs[(model, dataset, "dense")]]
+                ada = results[jobs[(model, dataset, "adaptiv")]]
+                ours = results[jobs[(model, dataset, "focus")]]
+                sim_dense = _paper_scale_sim(dense, SYSTOLIC, target_tokens)
+                sim_ada = _paper_scale_sim(ada, ADAPTIV, target_tokens)
+                sim_ours = _paper_scale_sim(ours, FOCUS, target_tokens)
+                rows.append(Table5Row(
+                    model=model,
+                    dataset=dataset,
+                    dense_acc=dense.accuracy,
+                    adaptiv_acc=ada.accuracy,
+                    adaptiv_speedup=sim_dense.cycles / max(sim_ada.cycles, 1),
+                    ours_acc=ours.accuracy,
+                    ours_speedup=sim_dense.cycles / max(sim_ours.cycles, 1),
+                ))
+        return rows
+
+    return ExperimentPlan(tuple(jobs.values()), assemble)
 
 
 # ---------------------------------------------------------------------------
 # Fig. 2(b) — cosine-similarity CDF vs vector size
 # ---------------------------------------------------------------------------
-
-class _ActivationCapture(InferencePlugin):
-    """Capture per-layer FC inputs (the tensors SIC operates on)."""
-
-    def __init__(self) -> None:
-        self.captured: list[np.ndarray] = []
-        self.positions: np.ndarray | None = None
-        self.is_text: np.ndarray | None = None
-
-    def gemm_input(self, layer_index, site, x, state, producer, n):
-        if site == "fc1":
-            self.captured.append(np.array(x))
-            self.positions = np.array(state.positions)
-            self.is_text = np.array(state.is_text)
-        return x, None
-
 
 @dataclass
 class Fig2bResult:
@@ -273,56 +321,40 @@ class Fig2bResult:
     threshold: float = 0.9
 
 
-def fig2b(
+@register("fig2b", "similarity CDF vs vector size (Fig. 2b)")
+def plan_fig2b(
     model_name: str = "llava-video",
     dataset: str = "mlvu",
     vector_sizes: tuple[int, ...] = (8, 16, 32, 64, 96, 192),
     num_samples: int = 3,
     seed: int = 0,
-) -> Fig2bResult:
+) -> ExperimentPlan:
     """Reproduce Fig. 2(b): finer vectors expose more redundancy.
 
-    For every vector size we compute cosine similarities between each
-    token's sub-vectors and the co-located sub-vectors of the previous
-    frame (the redundancy the SIC can harvest), over all layers'
-    hidden states on the MLVU-like dataset.
+    The capture-and-measure pass is a single ``fig2b``-kind job (see
+    :mod:`repro.eval.similarity_stats`), so the measurement is cached
+    like any evaluation cell.
     """
-    model = ModelCache.get(model_name)
-    samples = make_dataset(dataset, model.config.layout, num_samples, seed)
-    result = Fig2bResult(vector_sizes=vector_sizes)
-    sims_by_size: dict[int, list[np.ndarray]] = {v: [] for v in vector_sizes}
-    for sample in samples:
-        capture = _ActivationCapture()
-        model.forward(sample, capture)
-        frames, height, width = sample.grid
-        for hidden in capture.captured:
-            image = hidden[: sample.num_visual_tokens]
-            per_frame = image.reshape(frames, height * width, -1)
-            current = per_frame[1:]
-            previous = per_frame[:-1]
-            for v in vector_sizes:
-                blocks = -(-image.shape[1] // v)
-                pad = blocks * v - image.shape[1]
-                cur = np.pad(current, ((0, 0), (0, 0), (0, pad)))
-                prev = np.pad(previous, ((0, 0), (0, 0), (0, pad)))
-                cur = cur.reshape(*cur.shape[:2], blocks, v)
-                prev = prev.reshape(*prev.shape[:2], blocks, v)
-                dots = np.einsum("fpbv,fpbv->fpb", cur, prev)
-                denom = (
-                    np.linalg.norm(cur, axis=-1)
-                    * np.linalg.norm(prev, axis=-1)
-                )
-                sims = dots / np.maximum(denom, 1e-8)
-                sims_by_size[v].append(sims.ravel())
-    for v in vector_sizes:
-        values = np.concatenate(sims_by_size[v])
-        result.fraction_above[v] = float(
-            np.mean(values > result.threshold)
+    threshold = 0.9
+    job = EvalJob(
+        model=model_name, dataset=dataset, method="similarity-capture",
+        num_samples=num_samples, seed=seed, kind="fig2b",
+        extra=(("vector_sizes", tuple(vector_sizes)),
+               ("threshold", threshold)),
+        provider="repro.eval.similarity_stats",
+    )
+
+    def assemble(results: Results) -> Fig2bResult:
+        payload = results[job]
+        return Fig2bResult(
+            vector_sizes=tuple(vector_sizes),
+            fraction_above=dict(payload["fraction_above"]),
+            cdf_grid=np.asarray(payload["cdf_grid"]),
+            cdfs=dict(payload["cdfs"]),
+            threshold=threshold,
         )
-        result.cdfs[v] = np.array([
-            np.mean(values <= g) for g in result.cdf_grid
-        ])
-    return result
+
+    return ExperimentPlan((job,), assemble)
 
 
 # ---------------------------------------------------------------------------
@@ -336,20 +368,32 @@ class Fig2cBar:
     accuracy: float
 
 
-def fig2c(
+@register("fig2c", "sparsity/accuracy bars (Fig. 2c)")
+def plan_fig2c(
     model: str = "llava-video",
     dataset: str = "videomme",
     num_samples: int = 8,
     seed: int = 0,
-) -> list[Fig2cBar]:
+) -> ExperimentPlan:
     """Reproduce Fig. 2(c): vector-wise beats token-wise and baselines."""
-    bars = []
-    for method in ("dense", "cmc", "adaptiv", "focus-token", "focus"):
-        cell = evaluate(model, dataset, method, num_samples, seed)
-        bars.append(Fig2cBar(
-            method=method, sparsity=cell.sparsity, accuracy=cell.accuracy
-        ))
-    return bars
+    methods = ("dense", "cmc", "adaptiv", "focus-token", "focus")
+    jobs = tuple(
+        EvalJob(model=model, dataset=dataset, method=method,
+                num_samples=num_samples, seed=seed)
+        for method in methods
+    )
+
+    def assemble(results: Results) -> list[Fig2cBar]:
+        return [
+            Fig2cBar(
+                method=job.method,
+                sparsity=results[job].sparsity,
+                accuracy=results[job].accuracy,
+            )
+            for job in jobs
+        ]
+
+    return ExperimentPlan(jobs, assemble)
 
 
 # ---------------------------------------------------------------------------
@@ -380,97 +424,117 @@ class Fig9Result:
     )
 
 
-def fig9(
+@register("fig9", "speedup + energy vs baselines (Fig. 9)")
+def plan_fig9(
     models: tuple[str, ...] = VIDEO_MODELS,
     datasets: tuple[str, ...] = VIDEO_DATASETS,
     num_samples: int = 4,
     seed: int = 0,
-) -> Fig9Result:
+) -> ExperimentPlan:
     """Reproduce Fig. 9: speedup and energy vs all baselines."""
-    result = Fig9Result()
-    speedups: dict[str, list[float]] = {d: [] for d in result.designs}
-    energies: dict[str, list[float]] = {d: [] for d in result.designs}
-    for model in models:
-        for dataset in datasets:
-            dense = evaluate(model, dataset, "dense", num_samples, seed)
-            ff = evaluate(model, dataset, "framefusion", num_samples, seed)
-            ada = evaluate(model, dataset, "adaptiv", num_samples, seed)
-            cmc = evaluate(model, dataset, "cmc", num_samples, seed)
-            ours = evaluate(model, dataset, "focus", num_samples, seed)
-
-            sims = {
-                "systolic-array": _paper_scale_sim(dense, SYSTOLIC),
-                "adaptiv": _paper_scale_sim(ada, ADAPTIV),
-                "cmc": _paper_scale_sim(cmc, CMC),
-                "focus": _paper_scale_sim(ours, FOCUS),
-            }
-            hidden = ModelCache.get(model).config.hidden
-            gpu_dense = [
-                simulate_gpu(scale_to_paper(t, hidden), JETSON_ORIN_NANO)
-                for t in dense.traces
-            ]
-            gpu_ff = [
-                simulate_gpu(scale_to_paper(t, hidden), JETSON_ORIN_NANO,
-                             sparse=True)
-                for t in ff.traces
-            ]
-
-            sa_latency = sims["systolic-array"].latency_s()
-            sa_energy = sims["systolic-array"].energy.total_j
-            cell = Fig9Cell(model=model, dataset=dataset)
-            latencies = {
-                "systolic-array": sa_latency,
-                "gpu": sum(g.latency_s for g in gpu_dense),
-                "adaptiv": sims["adaptiv"].latency_s(),
-                "cmc": sims["cmc"].latency_s(),
-                "gpu+ff": sum(g.latency_s for g in gpu_ff),
-                "focus": sims["focus"].latency_s(),
-            }
-            energy_totals = {
-                "systolic-array": sa_energy,
-                "gpu": sum(g.energy_j for g in gpu_dense),
-                "adaptiv": sims["adaptiv"].energy.total_j,
-                "cmc": sims["cmc"].energy.total_j,
-                "gpu+ff": sum(g.energy_j for g in gpu_ff),
-                "focus": sims["focus"].energy.total_j,
-            }
-            for design in result.designs:
-                cell.speedup[design] = sa_latency / latencies[design]
-                speedups[design].append(cell.speedup[design])
-                energies[design].append(energy_totals[design] / sa_energy)
-                if design in sims:
-                    breakdown = sims[design].energy
-                    cell.energy[design] = {
-                        "core": breakdown.core_j / sa_energy,
-                        "buffer": breakdown.buffer_j / sa_energy,
-                        "dram": breakdown.dram_j / sa_energy,
-                    }
-                else:
-                    cell.energy[design] = {
-                        "core": energy_totals[design] / sa_energy,
-                        "buffer": 0.0,
-                        "dram": 0.0,
-                    }
-            result.cells.append(cell)
-    for design in result.designs:
-        result.geomean_speedup[design] = float(
-            np.exp(np.mean(np.log(speedups[design])))
+    methods = ("dense", "framefusion", "adaptiv", "cmc", "focus")
+    jobs = {
+        (model, dataset, method): EvalJob(
+            model=model, dataset=dataset, method=method,
+            num_samples=num_samples, seed=seed,
         )
-        result.geomean_energy[design] = float(
-            np.exp(np.mean(np.log(energies[design])))
-        )
-
-    result.area_breakdown_mm2 = area_breakdown(FOCUS)
-    focus_cell = evaluate("llava-video", "videomme", "focus",
-                          num_samples, seed)
-    sim = _paper_scale_sim(focus_cell, FOCUS)
-    latency = sim.latency_s()
-    result.power_breakdown_w = {
-        "core": sim.energy.core_j / latency,
-        "buffer": sim.energy.buffer_j / latency,
-        "dram": sim.energy.dram_j / latency,
+        for model in models
+        for dataset in datasets
+        for method in methods
     }
-    return result
+    # The power-breakdown workload; usually a duplicate of a grid job,
+    # which the engine's dedupe collapses for free.
+    power_job = EvalJob(model="llava-video", dataset="videomme",
+                        method="focus", num_samples=num_samples, seed=seed)
+
+    def assemble(results: Results) -> Fig9Result:
+        result = Fig9Result()
+        speedups: dict[str, list[float]] = {d: [] for d in result.designs}
+        energies: dict[str, list[float]] = {d: [] for d in result.designs}
+        for model in models:
+            for dataset in datasets:
+                dense = results[jobs[(model, dataset, "dense")]]
+                ff = results[jobs[(model, dataset, "framefusion")]]
+                ada = results[jobs[(model, dataset, "adaptiv")]]
+                cmc = results[jobs[(model, dataset, "cmc")]]
+                ours = results[jobs[(model, dataset, "focus")]]
+
+                sims = {
+                    "systolic-array": _paper_scale_sim(dense, SYSTOLIC),
+                    "adaptiv": _paper_scale_sim(ada, ADAPTIV),
+                    "cmc": _paper_scale_sim(cmc, CMC),
+                    "focus": _paper_scale_sim(ours, FOCUS),
+                }
+                hidden = get_model_config(model).hidden
+                gpu_dense = [
+                    simulate_gpu(scale_to_paper(t, hidden), JETSON_ORIN_NANO)
+                    for t in dense.traces
+                ]
+                gpu_ff = [
+                    simulate_gpu(scale_to_paper(t, hidden), JETSON_ORIN_NANO,
+                                 sparse=True)
+                    for t in ff.traces
+                ]
+
+                sa_latency = sims["systolic-array"].latency_s()
+                sa_energy = sims["systolic-array"].energy.total_j
+                cell = Fig9Cell(model=model, dataset=dataset)
+                latencies = {
+                    "systolic-array": sa_latency,
+                    "gpu": sum(g.latency_s for g in gpu_dense),
+                    "adaptiv": sims["adaptiv"].latency_s(),
+                    "cmc": sims["cmc"].latency_s(),
+                    "gpu+ff": sum(g.latency_s for g in gpu_ff),
+                    "focus": sims["focus"].latency_s(),
+                }
+                energy_totals = {
+                    "systolic-array": sa_energy,
+                    "gpu": sum(g.energy_j for g in gpu_dense),
+                    "adaptiv": sims["adaptiv"].energy.total_j,
+                    "cmc": sims["cmc"].energy.total_j,
+                    "gpu+ff": sum(g.energy_j for g in gpu_ff),
+                    "focus": sims["focus"].energy.total_j,
+                }
+                for design in result.designs:
+                    cell.speedup[design] = sa_latency / latencies[design]
+                    speedups[design].append(cell.speedup[design])
+                    energies[design].append(
+                        energy_totals[design] / sa_energy
+                    )
+                    if design in sims:
+                        breakdown = sims[design].energy
+                        cell.energy[design] = {
+                            "core": breakdown.core_j / sa_energy,
+                            "buffer": breakdown.buffer_j / sa_energy,
+                            "dram": breakdown.dram_j / sa_energy,
+                        }
+                    else:
+                        cell.energy[design] = {
+                            "core": energy_totals[design] / sa_energy,
+                            "buffer": 0.0,
+                            "dram": 0.0,
+                        }
+                result.cells.append(cell)
+        for design in result.designs:
+            result.geomean_speedup[design] = float(
+                np.exp(np.mean(np.log(speedups[design])))
+            )
+            result.geomean_energy[design] = float(
+                np.exp(np.mean(np.log(energies[design])))
+            )
+
+        result.area_breakdown_mm2 = area_breakdown(FOCUS)
+        focus_cell = results[power_job]
+        sim = _paper_scale_sim(focus_cell, FOCUS)
+        latency = sim.latency_s()
+        result.power_breakdown_w = {
+            "core": sim.energy.core_j / latency,
+            "buffer": sim.energy.buffer_j / latency,
+            "dram": sim.energy.dram_j / latency,
+        }
+        return result
+
+    return ExperimentPlan(tuple(jobs.values()) + (power_job,), assemble)
 
 
 # ---------------------------------------------------------------------------
@@ -487,28 +551,14 @@ class SweepPoint:
     extra: dict[str, float] = field(default_factory=dict)
 
 
-def _focus_sweep_point(
-    config: FocusConfig,
-    model_name: str,
-    dataset: str,
-    num_samples: int,
-    seed: int,
-    arch: ArchConfig = FOCUS,
-) -> tuple[float, float, EvalResult]:
-    """Latency (paper-scale cycles) and accuracy of one Focus config."""
-    cell = evaluate(model_name, dataset, "focus", num_samples, seed,
-                    config=config)
-    sim = _paper_scale_sim(cell, arch)
-    return float(sim.cycles), cell.accuracy, cell
-
-
-def fig10a(
+@register("fig10a", "DSE: GEMM m-tile size (Fig. 10a)")
+def plan_fig10a(
     m_tiles: tuple[int, ...] = (0, 256, 128, 64, 32),
     model: str = "llava-video",
     dataset: str = "videomme",
     num_samples: int = 4,
     seed: int = 0,
-) -> list[SweepPoint]:
+) -> ExperimentPlan:
     """Fig. 10(a): GEMM m-tile size vs latency and buffer demand.
 
     ``0`` denotes the full input height (no tiling).  Smaller tiles
@@ -516,57 +566,78 @@ def fig10a(
     compression and therefore latency; larger tiles need more output
     buffer.
     """
-    from repro.accel.buffers import output_buffer_kb_for_tile
-
-    points = []
-    baseline = None
+    jobs = {}
     for m_tile in m_tiles:
         effective = m_tile if m_tile > 0 else 1 << 20
         config = DEFAULT_CONFIG.with_overrides(m_tile=effective)
-        latency, accuracy, _ = _focus_sweep_point(
-            config, model, dataset, num_samples, seed
+        jobs[m_tile] = EvalJob(
+            model=model, dataset=dataset, method="focus",
+            num_samples=num_samples, seed=seed, config=config,
         )
-        baseline = baseline or latency
-        label = "full" if m_tile == 0 else str(m_tile)
-        buffer_kb = output_buffer_kb_for_tile(
-            m_tile if m_tile > 0 else 1024
-        )
-        points.append(SweepPoint(
-            label=label,
-            latency=latency / baseline,
-            accuracy=accuracy,
-            extra={"output_buffer_kb": buffer_kb},
-        ))
-    return points
+
+    def assemble(results: Results) -> list[SweepPoint]:
+        from repro.accel.buffers import output_buffer_kb_for_tile
+
+        points = []
+        baseline = None
+        for m_tile in m_tiles:
+            cell = results[jobs[m_tile]]
+            latency = float(_paper_scale_sim(cell, FOCUS).cycles)
+            baseline = baseline or latency
+            label = "full" if m_tile == 0 else str(m_tile)
+            buffer_kb = output_buffer_kb_for_tile(
+                m_tile if m_tile > 0 else 1024
+            )
+            points.append(SweepPoint(
+                label=label,
+                latency=latency / baseline,
+                accuracy=cell.accuracy,
+                extra={"output_buffer_kb": buffer_kb},
+            ))
+        return points
+
+    return ExperimentPlan(tuple(jobs.values()), assemble)
 
 
-def fig10b(
+@register("fig10b", "DSE: vector size (Fig. 10b)")
+def plan_fig10b(
     vector_sizes: tuple[int, ...] = (8, 16, 32, 64, 96),
     model: str = "llava-video",
     dataset: str = "videomme",
     num_samples: int = 4,
     seed: int = 0,
-) -> list[SweepPoint]:
+) -> ExperimentPlan:
     """Fig. 10(b): vector size vs array MACs and accumulator ops."""
-    points = []
-    for v in vector_sizes:
-        config = DEFAULT_CONFIG.with_overrides(vector_size=v, n_tile=v)
-        cell = evaluate(model, dataset, "focus", num_samples, seed,
-                        config=config)
-        merged = cell.merged_trace
-        points.append(SweepPoint(
-            label=str(v),
-            latency=0.0,
-            accuracy=cell.accuracy,
-            extra={
-                "array_gops": merged.total_macs / 1e9,
-                "accumulator_gops": merged.total_scatter_ops / 1e9,
-            },
-        ))
-    return points
+    jobs = {
+        v: EvalJob(
+            model=model, dataset=dataset, method="focus",
+            num_samples=num_samples, seed=seed,
+            config=DEFAULT_CONFIG.with_overrides(vector_size=v, n_tile=v),
+        )
+        for v in vector_sizes
+    }
+
+    def assemble(results: Results) -> list[SweepPoint]:
+        points = []
+        for v in vector_sizes:
+            cell = results[jobs[v]]
+            merged = cell.merged_trace
+            points.append(SweepPoint(
+                label=str(v),
+                latency=0.0,
+                accuracy=cell.accuracy,
+                extra={
+                    "array_gops": merged.total_macs / 1e9,
+                    "accumulator_gops": merged.total_scatter_ops / 1e9,
+                },
+            ))
+        return points
+
+    return ExperimentPlan(tuple(jobs.values()), assemble)
 
 
-def fig10c(
+@register("fig10c", "DSE: SIC block size (Fig. 10c)")
+def plan_fig10c(
     blocks: tuple[tuple[int, int, int], ...] = (
         (1, 1, 1), (1, 2, 2), (1, 3, 3),
         (2, 1, 1), (2, 2, 2), (2, 3, 3),
@@ -576,66 +647,85 @@ def fig10c(
     dataset: str = "videomme",
     num_samples: int = 4,
     seed: int = 0,
-) -> list[SweepPoint]:
+) -> ExperimentPlan:
     """Fig. 10(c): SIC block size (f, h, w) vs latency."""
-    points = []
-    baseline = None
-    for bf, bh, bw in blocks:
-        config = DEFAULT_CONFIG.with_overrides(
-            block_frames=bf, block_height=bh, block_width=bw
+    jobs = {
+        (bf, bh, bw): EvalJob(
+            model=model, dataset=dataset, method="focus",
+            num_samples=num_samples, seed=seed,
+            config=DEFAULT_CONFIG.with_overrides(
+                block_frames=bf, block_height=bh, block_width=bw
+            ),
         )
-        latency, accuracy, _ = _focus_sweep_point(
-            config, model, dataset, num_samples, seed
+        for bf, bh, bw in blocks
+    }
+
+    def assemble(results: Results) -> list[SweepPoint]:
+        points = []
+        for bf, bh, bw in blocks:
+            cell = results[jobs[(bf, bh, bw)]]
+            latency = float(_paper_scale_sim(cell, FOCUS).cycles)
+            points.append(SweepPoint(
+                label=f"{bf}{bh}{bw}",
+                latency=latency,
+                accuracy=cell.accuracy,
+            ))
+        # Normalize to the default 2x2x2 block, as the paper's axis does.
+        reference = next(
+            (p.latency for p in points if p.label == "222"),
+            points[0].latency,
         )
-        if (bf, bh, bw) == (1, 1, 1):
-            baseline = latency
-        baseline = baseline or latency
-        points.append(SweepPoint(
-            label=f"{bf}{bh}{bw}",
-            latency=latency,
-            accuracy=accuracy,
-        ))
-    # Normalize to the default 2x2x2 block, as the paper's axis does.
-    reference = next(
-        (p.latency for p in points if p.label == "222"), points[0].latency
-    )
-    for point in points:
-        point.latency /= reference
-    return points
+        for point in points:
+            point.latency /= reference
+        return points
+
+    return ExperimentPlan(tuple(jobs.values()), assemble)
 
 
-def fig10d(
+@register("fig10d", "DSE: scatter accumulators (Fig. 10d)")
+def plan_fig10d(
     accumulators: tuple[int, ...] = (16, 32, 64, 96, 128, 160),
     model: str = "llava-video",
     dataset: str = "videomme",
     num_samples: int = 4,
     seed: int = 0,
-) -> list[SweepPoint]:
-    """Fig. 10(d): scatter accumulator count vs latency."""
-    cell = evaluate(model, dataset, "focus", num_samples, seed)
-    hidden = ModelCache.get(model).config.hidden
-    scaled = [scale_to_paper(t, hidden) for t in cell.traces]
-    points = []
-    best = None
-    for count in accumulators:
-        arch = ArchConfig(
-            name="focus",
-            extra_buffer_kb=16.0,
-            compression="focus",
-            has_sec=True,
-            has_sic=True,
-            scatter_accumulators=count,
-        )
-        sim = simulate_many(scaled, arch)
-        if best is None or sim.cycles < best:
-            best = sim.cycles
-        points.append(SweepPoint(
-            label=str(count), latency=float(sim.cycles),
-            accuracy=cell.accuracy,
-        ))
-    for point in points:
-        point.latency /= best
-    return points
+) -> ExperimentPlan:
+    """Fig. 10(d): scatter accumulator count vs latency.
+
+    One evaluation feeds every accumulator configuration — only the
+    simulated architecture varies, so the sweep is a single job plus
+    assemble-side simulations.
+    """
+    job = EvalJob(model=model, dataset=dataset, method="focus",
+                  num_samples=num_samples, seed=seed)
+
+    def assemble(results: Results) -> list[SweepPoint]:
+        cell = results[job]
+        hidden = get_model_config(model).hidden
+        scaled = [scale_to_paper(t, hidden) for t in cell.traces]
+        points = []
+        best = None
+        for count in accumulators:
+            arch = ArchConfig(
+                name="focus",
+                extra_buffer_kb=16.0,
+                compression="focus",
+                has_sec=True,
+                has_sic=True,
+                scatter_accumulators=count,
+            )
+            sim = simulate_many(scaled, arch)
+            if best is None or sim.cycles < best:
+                best = sim.cycles
+            points.append(SweepPoint(
+                label=str(count), latency=float(sim.cycles),
+                accuracy=cell.accuracy,
+            ))
+        for point in points:
+            point.latency /= best
+        return points
+
+    return ExperimentPlan((job,), assemble)
 
 
 # ---------------------------------------------------------------------------
@@ -648,33 +738,47 @@ class AblationBar:
     speedup: float
 
 
-def fig11(
+@register("fig11", "ablation study (Fig. 11)")
+def plan_fig11(
     model: str = "llava-video",
     dataset: str = "videomme",
     num_samples: int = 4,
     seed: int = 0,
-) -> list[AblationBar]:
+) -> ExperimentPlan:
     """Reproduce Fig. 11: SEC-only and SEC+SIC vs SA and CMC."""
-    dense = evaluate(model, dataset, "dense", num_samples, seed)
-    cmc = evaluate(model, dataset, "cmc", num_samples, seed)
-    sec = evaluate(model, dataset, "focus-sec", num_samples, seed)
-    ours = evaluate(model, dataset, "focus", num_samples, seed)
-    sa = _paper_scale_sim(dense, SYSTOLIC)
-    bars = [
-        AblationBar("systolic-array", 1.0),
-        AblationBar(
-            "cmc", sa.latency_s() / _paper_scale_sim(cmc, CMC).latency_s()
-        ),
-        AblationBar(
-            "ours-sec",
-            sa.latency_s() / _paper_scale_sim(sec, FOCUS).latency_s(),
-        ),
-        AblationBar(
-            "ours",
-            sa.latency_s() / _paper_scale_sim(ours, FOCUS).latency_s(),
-        ),
-    ]
-    return bars
+    methods = ("dense", "cmc", "focus-sec", "focus")
+    jobs = {
+        method: EvalJob(model=model, dataset=dataset, method=method,
+                        num_samples=num_samples, seed=seed)
+        for method in methods
+    }
+
+    def assemble(results: Results) -> list[AblationBar]:
+        sa = _paper_scale_sim(results[jobs["dense"]], SYSTOLIC)
+        return [
+            AblationBar("systolic-array", 1.0),
+            AblationBar(
+                "cmc",
+                sa.latency_s()
+                / _paper_scale_sim(results[jobs["cmc"]], CMC).latency_s(),
+            ),
+            AblationBar(
+                "ours-sec",
+                sa.latency_s()
+                / _paper_scale_sim(
+                    results[jobs["focus-sec"]], FOCUS
+                ).latency_s(),
+            ),
+            AblationBar(
+                "ours",
+                sa.latency_s()
+                / _paper_scale_sim(
+                    results[jobs["focus"]], FOCUS
+                ).latency_s(),
+            ),
+        ]
+
+    return ExperimentPlan(tuple(jobs.values()), assemble)
 
 
 # ---------------------------------------------------------------------------
@@ -688,47 +792,63 @@ class Fig12Row:
     activation_ratio: dict[str, float] = field(default_factory=dict)
 
 
-def fig12(
+_FIG12_METHODS = (
+    ("dense", SYSTOLIC), ("adaptiv", ADAPTIV),
+    ("cmc", CMC), ("focus", FOCUS),
+)
+
+
+@register("fig12", "memory access (Fig. 12)")
+def plan_fig12(
     models: tuple[str, ...] = VIDEO_MODELS,
     dataset: str = "videomme",
     num_samples: int = 4,
     seed: int = 0,
-) -> list[Fig12Row]:
+) -> ExperimentPlan:
     """Reproduce Fig. 12: DRAM access and activation size ratios."""
-    rows = []
-    for model in models:
-        row = Fig12Row(model=model)
-        dense = evaluate(model, dataset, "dense", num_samples, seed)
-        sa = _paper_scale_sim(dense, SYSTOLIC)
-        dense_inputs = sum(
-            g.m * g.k * 2 for t in dense.traces for g in t.gemms
-            if g.name in ("qkv", "fc1", "o_proj")
+    jobs = {
+        (model, method): EvalJob(
+            model=model, dataset=dataset, method=method,
+            num_samples=num_samples, seed=seed,
         )
-        for method, arch in (
-            ("dense", SYSTOLIC), ("adaptiv", ADAPTIV),
-            ("cmc", CMC), ("focus", FOCUS),
-        ):
-            cell = evaluate(model, dataset, method, num_samples, seed)
-            sim = _paper_scale_sim(cell, arch)
-            row.dram_ratio[method] = (
-                sim.activation_dram_bytes / sa.activation_dram_bytes
-            )
-            method_inputs = sum(
-                g.input_bytes for t in cell.traces for g in t.gemms
+        for model in models
+        for method, _ in _FIG12_METHODS
+    }
+
+    def assemble(results: Results) -> list[Fig12Row]:
+        rows = []
+        for model in models:
+            row = Fig12Row(model=model)
+            dense = results[jobs[(model, "dense")]]
+            sa = _paper_scale_sim(dense, SYSTOLIC)
+            dense_inputs = sum(
+                g.m * g.k * 2 for t in dense.traces for g in t.gemms
                 if g.name in ("qkv", "fc1", "o_proj")
             )
-            row.activation_ratio[method] = method_inputs / dense_inputs
-        rows.append(row)
-    mean = Fig12Row(model="mean")
-    for method in rows[0].dram_ratio:
-        mean.dram_ratio[method] = float(np.mean(
-            [r.dram_ratio[method] for r in rows]
-        ))
-        mean.activation_ratio[method] = float(np.mean(
-            [r.activation_ratio[method] for r in rows]
-        ))
-    rows.append(mean)
-    return rows
+            for method, arch in _FIG12_METHODS:
+                cell = results[jobs[(model, method)]]
+                sim = _paper_scale_sim(cell, arch)
+                row.dram_ratio[method] = (
+                    sim.activation_dram_bytes / sa.activation_dram_bytes
+                )
+                method_inputs = sum(
+                    g.input_bytes for t in cell.traces for g in t.gemms
+                    if g.name in ("qkv", "fc1", "o_proj")
+                )
+                row.activation_ratio[method] = method_inputs / dense_inputs
+            rows.append(row)
+        mean = Fig12Row(model="mean")
+        for method in rows[0].dram_ratio:
+            mean.dram_ratio[method] = float(np.mean(
+                [r.dram_ratio[method] for r in rows]
+            ))
+            mean.activation_ratio[method] = float(np.mean(
+                [r.activation_ratio[method] for r in rows]
+            ))
+        rows.append(mean)
+        return rows
+
+    return ExperimentPlan(tuple(jobs.values()), assemble)
 
 
 # ---------------------------------------------------------------------------
@@ -744,14 +864,15 @@ class Fig13Result:
     average_utilization: float
 
 
-def fig13(
+@register("fig13", "tile lengths + utilization (Fig. 13)")
+def plan_fig13(
     model: str = "llava-video",
     dataset: str = "videomme",
     num_samples: int = 4,
     seed: int = 0,
     bins: int = 24,
     paper_tile_rows: int = 1024,
-) -> Fig13Result:
+) -> ExperimentPlan:
     """Reproduce Fig. 13: tile-length histogram and array utilization.
 
     Tile lengths are normalized to the paper's 1024-row tiles: each
@@ -759,26 +880,51 @@ def fig13(
     Table I tile height, so the histogram spans the same 0..1024 axis
     the paper plots.
     """
-    cell = evaluate(model, dataset, "focus", num_samples, seed)
-    merged = cell.merged_trace
-    unique = np.array(merged.tile_lengths, dtype=np.float64)
-    rows = np.array(merged.tile_rows, dtype=np.float64)
-    lengths = np.round(
-        unique / np.maximum(rows, 1.0) * paper_tile_rows
-    ).astype(np.int64)
-    histogram, edges = np.histogram(lengths, bins=bins, density=True)
-    centers = 0.5 * (edges[:-1] + edges[1:])
-    curve = np.array([
-        tile_utilization(int(c), FOCUS.pe_rows, FOCUS.pe_cols)
-        for c in centers
-    ])
-    weighted = float(np.sum(
-        lengths / (lengths + FOCUS.pe_rows + FOCUS.pe_cols - 1) * lengths
-    ) / max(np.sum(lengths), 1))
-    return Fig13Result(
-        tile_lengths=lengths,
-        histogram=histogram,
-        bin_edges=edges,
-        utilization_curve=curve,
-        average_utilization=weighted,
-    )
+    job = EvalJob(model=model, dataset=dataset, method="focus",
+                  num_samples=num_samples, seed=seed)
+
+    def assemble(results: Results) -> Fig13Result:
+        merged = results[job].merged_trace
+        unique = np.array(merged.tile_lengths, dtype=np.float64)
+        rows = np.array(merged.tile_rows, dtype=np.float64)
+        lengths = np.round(
+            unique / np.maximum(rows, 1.0) * paper_tile_rows
+        ).astype(np.int64)
+        histogram, edges = np.histogram(lengths, bins=bins, density=True)
+        centers = 0.5 * (edges[:-1] + edges[1:])
+        curve = np.array([
+            tile_utilization(int(c), FOCUS.pe_rows, FOCUS.pe_cols)
+            for c in centers
+        ])
+        weighted = float(np.sum(
+            lengths / (lengths + FOCUS.pe_rows + FOCUS.pe_cols - 1) * lengths
+        ) / max(np.sum(lengths), 1))
+        return Fig13Result(
+            tile_lengths=lengths,
+            histogram=histogram,
+            bin_edges=edges,
+            utilization_curve=curve,
+            average_utilization=weighted,
+        )
+
+    return ExperimentPlan((job,), assemble)
+
+
+# ---------------------------------------------------------------------------
+# Classic callable drivers (engine-backed)
+# ---------------------------------------------------------------------------
+
+table2 = _engine_driver(plan_table2)
+table3 = _engine_driver(plan_table3)
+table4 = _engine_driver(plan_table4)
+table5 = _engine_driver(plan_table5)
+fig2b = _engine_driver(plan_fig2b)
+fig2c = _engine_driver(plan_fig2c)
+fig9 = _engine_driver(plan_fig9)
+fig10a = _engine_driver(plan_fig10a)
+fig10b = _engine_driver(plan_fig10b)
+fig10c = _engine_driver(plan_fig10c)
+fig10d = _engine_driver(plan_fig10d)
+fig11 = _engine_driver(plan_fig11)
+fig12 = _engine_driver(plan_fig12)
+fig13 = _engine_driver(plan_fig13)

@@ -242,3 +242,37 @@ def format_fig13(result: Fig13Result) -> str:
             f"  [{lo:6.0f},{hi:6.0f})  util={util:.2f}  {bar}"
         )
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Registry wiring: every experiment gets its paper-style renderer.
+# ---------------------------------------------------------------------------
+
+def _attach_formatters() -> None:
+    from repro.engine.registry import set_formatter
+
+    set_formatter("table2", format_table2)
+    set_formatter("table3", format_table3)
+    set_formatter("table4", format_table4)
+    set_formatter("table5", format_table5)
+    set_formatter("fig2b", format_fig2b)
+    set_formatter("fig2c", format_fig2c)
+    set_formatter("fig9", format_fig9)
+    set_formatter(
+        "fig10a", lambda p: format_sweep("FIG 10(a): m-tile size", p)
+    )
+    set_formatter(
+        "fig10b", lambda p: format_sweep("FIG 10(b): vector size", p)
+    )
+    set_formatter(
+        "fig10c", lambda p: format_sweep("FIG 10(c): block size", p)
+    )
+    set_formatter(
+        "fig10d", lambda p: format_sweep("FIG 10(d): accumulators", p)
+    )
+    set_formatter("fig11", format_fig11)
+    set_formatter("fig12", format_fig12)
+    set_formatter("fig13", format_fig13)
+
+
+_attach_formatters()

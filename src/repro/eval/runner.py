@@ -22,6 +22,7 @@ from repro.eval.metrics import EvalResult, computation_sparsity, dense_macs_for
 from repro.model.plugins import InferencePlugin
 from repro.model.vlm import SyntheticVLM
 from repro.model.zoo import get_model_config
+from repro.quant.int8 import Int8ActivationPlugin, quantize_model
 from repro.workloads.datasets import Sample, make_dataset
 
 PluginFactory = Callable[[SyntheticVLM, FocusConfig], InferencePlugin]
@@ -77,6 +78,24 @@ class ModelCache:
         return cls._models[name]
 
 
+class QuantizedModelCache:
+    """INT8-quantized counterpart of :class:`ModelCache`.
+
+    Quantization is deterministic, so the quantized model is as
+    cacheable as the FP16 original; it shares the original's
+    :class:`~repro.model.spec.ModelConfig`, which keeps dense-MAC
+    accounting (and therefore sparsity) directly comparable.
+    """
+
+    _models: dict[str, SyntheticVLM] = {}
+
+    @classmethod
+    def get(cls, name: str) -> SyntheticVLM:
+        if name not in cls._models:
+            cls._models[name] = quantize_model(ModelCache.get(name))
+        return cls._models[name]
+
+
 def evaluate_samples(
     model: SyntheticVLM,
     samples: list[Sample],
@@ -84,15 +103,24 @@ def evaluate_samples(
     config: FocusConfig = DEFAULT_CONFIG,
     model_name: str = "",
     dataset_name: str = "",
+    quantized: bool = False,
 ) -> EvalResult:
-    """Run one method over a list of samples."""
+    """Run one method over a list of samples.
+
+    With ``quantized=True`` the model is expected to carry INT8
+    weights and every method plugin is wrapped in
+    :class:`~repro.quant.int8.Int8ActivationPlugin`, reproducing the
+    Table IV INT8 arms for any registered method.
+    """
     result = EvalResult(
         model=model_name or model.config.name,
         dataset=dataset_name,
-        method=method,
+        method=f"{method}-int8" if quantized else method,
     )
     for sample in samples:
-        plugin = make_plugin(method, model, config)
+        plugin: InferencePlugin = make_plugin(method, model, config)
+        if quantized:
+            plugin = Int8ActivationPlugin(plugin)
         outcome = model.forward(sample, plugin)
         result.correct.append(outcome.correct)
         result.sparsities.append(
@@ -110,18 +138,23 @@ def evaluate(
     num_samples: int = 16,
     seed: int = 0,
     config: FocusConfig = DEFAULT_CONFIG,
+    quantized: bool = False,
 ) -> EvalResult:
     """Evaluate a (model, dataset, method) cell.
 
     Samples are generated deterministically from ``seed`` so every
     method sees the *same* items — accuracy comparisons are paired, as
-    in the paper's tables.
+    in the paper's tables.  ``quantized=True`` runs the INT8 arm on
+    the same items (Table IV pairs FP16 and INT8 this way).
     """
     model = ModelCache.get(model_name)
     samples = make_dataset(
         dataset_name, model.config.layout, num_samples, seed=seed
     )
+    if quantized:
+        model = QuantizedModelCache.get(model_name)
     return evaluate_samples(
         model, samples, method, config,
         model_name=model_name, dataset_name=dataset_name,
+        quantized=quantized,
     )

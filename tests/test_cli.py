@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.cli import EXPERIMENTS, build_parser, main, run_experiment
+from repro.cli import build_parser, main, run_experiment
+from repro.engine.registry import experiment_names
 
 
 class TestParser:
@@ -17,13 +18,26 @@ class TestParser:
         assert args.experiments == ["table2", "fig11"]
         assert args.samples == 3
         assert args.seed == 7
+        assert args.workers == 1
+        assert args.cache_dir is None
+        assert not args.no_cache
+
+    def test_parses_engine_options(self):
+        args = build_parser().parse_args(
+            ["fig9", "--workers", "4", "--cache-dir", "/tmp/c",
+             "--no-cache", "--progress"]
+        )
+        assert args.workers == 4
+        assert args.cache_dir == "/tmp/c"
+        assert args.no_cache
+        assert args.progress
 
 
 class TestMain:
     def test_list(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
-        for name in EXPERIMENTS:
+        for name in experiment_names():
             assert name in out
 
     def test_unknown_experiment(self, capsys):
@@ -36,15 +50,38 @@ class TestMain:
             "fig2b", "fig2c", "fig9", "fig10a", "fig10b", "fig10c",
             "fig10d", "fig11", "fig12", "fig13",
         }
-        assert expected == set(EXPERIMENTS)
+        assert expected == set(experiment_names())
 
     @pytest.mark.slow
     def test_run_single_experiment(self, capsys):
         assert main(["fig13", "--samples", "1"]) == 0
         out = capsys.readouterr().out
         assert "FIG 13" in out
+        assert "executed" in out  # engine summary line
 
     @pytest.mark.slow
     def test_run_experiment_helper(self):
         text = run_experiment("fig2c", samples=2, seed=0)
         assert "Sparsity" in text
+
+    @pytest.mark.slow
+    def test_multi_experiment_schedule_dedupes(self, capsys, tmp_path):
+        # table3 and fig11 share their dense/cmc/focus cells.
+        assert main([
+            "table3", "fig11", "--samples", "1",
+            "--cache-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE III" in out
+        assert "FIG 11" in out
+        assert "deduped" in out
+
+    @pytest.mark.slow
+    def test_warm_cache_run_executes_nothing(self, capsys, tmp_path):
+        assert main(["fig13", "--samples", "1",
+                     "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["fig13", "--samples", "1",
+                     "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 executed" in out

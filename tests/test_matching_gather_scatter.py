@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.config import FocusConfig
 from repro.core.blocks import build_neighbor_table
-from repro.core.gather import SimilarityGather
+from repro.core.gather import TABLE_CACHE_MAX_ENTRIES, SimilarityGather
 from repro.core.matching import SimilarityMatcher
 from repro.core.scatter import (
     gathered_gemm,
@@ -135,6 +135,54 @@ class TestMatcher:
                     (3, 1))
         outcome = self._match(x, positions, grid, block=(1, 1, 2))
         assert outcome.unique_counts()[0] == 1
+
+
+class TestTableCacheBound:
+    """Regression: the neighbor-table cache must stay bounded when one
+    gather engine serves many samples (streaming use)."""
+
+    def _inputs(self, grid=(2, 3, 3), dim=8):
+        tokens = grid[0] * grid[1] * grid[2]
+        positions = _grid_positions(*grid)
+        x = np.random.default_rng(0).standard_normal(
+            (tokens, dim)
+        ).astype(np.float32)
+        is_text = np.zeros(tokens, dtype=bool)
+        return x, positions, is_text, grid
+
+    def test_stale_cache_tokens_evicted(self):
+        engine = SimilarityGather(FocusConfig(vector_size=4))
+        x, positions, is_text, grid = self._inputs()
+        for token in range(200):
+            engine.gather(x, positions, is_text, grid,
+                          cache_token=("sample", token))
+        assert len(engine._table_cache) <= TABLE_CACHE_MAX_ENTRIES
+        # Only the most recent token's tables survive.
+        assert {k[0] for k in engine._table_cache} == {("sample", 199)}
+
+    def test_lru_cap_within_one_token(self):
+        # 200 tokens at m_tile=2 is 100 tiles — more than the cap.
+        engine = SimilarityGather(FocusConfig(vector_size=4, m_tile=2))
+        x, positions, is_text, grid = self._inputs(grid=(2, 10, 10))
+        engine.gather(x, positions, is_text, grid, cache_token="one")
+        assert len(engine._table_cache) <= TABLE_CACHE_MAX_ENTRIES
+
+    def test_tables_reused_within_token(self):
+        engine = SimilarityGather(FocusConfig(vector_size=4))
+        x, positions, is_text, grid = self._inputs()
+        first = engine._neighbor_table(
+            positions, is_text, grid, (0, 18), "tok"
+        )
+        second = engine._neighbor_table(
+            positions, is_text, grid, (0, 18), "tok"
+        )
+        assert first is second
+
+    def test_uncached_when_token_is_none(self):
+        engine = SimilarityGather(FocusConfig(vector_size=4))
+        x, positions, is_text, grid = self._inputs()
+        engine.gather(x, positions, is_text, grid, cache_token=None)
+        assert len(engine._table_cache) == 0
 
 
 class TestGather:
