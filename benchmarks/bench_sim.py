@@ -1,0 +1,129 @@
+"""Sharded trace simulation over the Table II / Fig. 9 grid.
+
+The acceptance gate for the sharded-simulation PR: for every (model,
+dataset, method) cell of the paper's video grid, ``simulate_many``
+executed as sharded ``sim`` jobs on a 4-worker engine must be
+*bit-identical* to the serial fold.  The run doubles as the telemetry
+emitter — ``benchmarks/results/BENCH_sim.json`` records wall-clock for
+the serial, sharded-cold, and sharded-warm sweeps, the shard count,
+and the engine cache hit rate, so future PRs have a perf trajectory
+for the simulation phase like BENCH_engine.json provides for the
+evaluation phase.
+"""
+
+import json
+import time
+
+from repro.accel.arch import ADAPTIV, CMC, FOCUS, SYSTOLIC
+from repro.accel.scaling import scale_to_paper
+from repro.accel.sim_jobs import SIM_TELEMETRY, reset_sim_telemetry
+from repro.accel.simulator import simulate_many
+from repro.engine import EvalJob, ExperimentEngine
+from repro.engine.registry import default_engine
+from repro.eval.experiments import VIDEO_DATASETS
+from repro.model.zoo import VIDEO_MODELS, get_model_config
+
+from conftest import bench_samples
+
+GRID_METHODS = (
+    ("dense", SYSTOLIC),
+    ("adaptiv", ADAPTIV),
+    ("cmc", CMC),
+    ("focus", FOCUS),
+)
+
+SHARD_WORKERS = 4
+
+
+def _grid_traces(samples):
+    """Paper-scale traces for every cell of the video grid.
+
+    The evaluation cells run through the process-wide default engine,
+    so they dedupe against bench_table2 / bench_fig9 in the same
+    session (the fig9 benchmark uses the same sample count).
+    """
+    jobs = {
+        (model, dataset, method): EvalJob(
+            model=model, dataset=dataset, method=method,
+            num_samples=samples, seed=0,
+        )
+        for model in VIDEO_MODELS
+        for dataset in VIDEO_DATASETS
+        for method, _ in GRID_METHODS
+    }
+    results = default_engine().run(list(jobs.values()))
+    arch_for = dict(GRID_METHODS)
+    cells = {}
+    for (model, dataset, method), job in jobs.items():
+        cell = results[job]
+        hidden = get_model_config(model).hidden
+        cells[(model, dataset, method)] = (
+            [scale_to_paper(t, hidden) for t in cell.traces],
+            arch_for[method],
+        )
+    return cells
+
+
+def test_sim_sharding_parity_and_telemetry(benchmark, results_dir):
+    samples = max(2, bench_samples() // 2)
+    cells = _grid_traces(samples)
+
+    serial_start = time.perf_counter()
+    serial = {
+        key: simulate_many(traces, arch)
+        for key, (traces, arch) in cells.items()
+    }
+    serial_wall = time.perf_counter() - serial_start
+
+    engine = ExperimentEngine(workers=SHARD_WORKERS)
+    reset_sim_telemetry()
+
+    def sharded_sweep():
+        return {
+            key: simulate_many(traces, arch, engine=engine)
+            for key, (traces, arch) in cells.items()
+        }
+
+    cold_start = time.perf_counter()
+    sharded = benchmark.pedantic(sharded_sweep, rounds=1, iterations=1)
+    cold_wall = time.perf_counter() - cold_start
+    cold_records = list(SIM_TELEMETRY)
+
+    reset_sim_telemetry()
+    warm_start = time.perf_counter()
+    warm = sharded_sweep()
+    warm_wall = time.perf_counter() - warm_start
+    warm_records = list(SIM_TELEMETRY)
+
+    # The tentpole guarantee: sharded == serial, bit for bit, on every
+    # cell of the grid — cold (executed) and warm (cache-served) alike.
+    for key in cells:
+        assert sharded[key] == serial[key], key
+        assert warm[key] == serial[key], key
+
+    total_shards = sum(record["shards"] for record in cold_records)
+    hit_rate = engine.cache.stats.hit_rate
+    benchmark.extra_info["grid_cells"] = len(cells)
+    benchmark.extra_info["total_shards"] = total_shards
+    benchmark.extra_info["cache_hit_rate"] = hit_rate
+
+    payload = {
+        "samples": samples,
+        "grid_cells": len(cells),
+        "workers": SHARD_WORKERS,
+        "serial_wall_s": round(serial_wall, 4),
+        "sharded_cold_wall_s": round(cold_wall, 4),
+        "sharded_warm_wall_s": round(warm_wall, 4),
+        "total_shards": total_shards,
+        "sim_jobs_executed": engine.stats.executed_by_kind.get("sim", 0),
+        "cache_hit_rate": round(hit_rate, 4),
+        "cache": engine.cache.stats.as_dict(),
+        "sweeps": cold_records + warm_records,
+    }
+    (results_dir / "BENCH_sim.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    # The warm sweep must be served entirely from the result cache.
+    assert sum(r["executed"] for r in warm_records) == 0
+    assert sum(r["cache_hits"] for r in warm_records) == total_shards

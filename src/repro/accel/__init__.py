@@ -23,7 +23,19 @@ from repro.accel.buffers import (
 from repro.accel.dram import DramModel
 from repro.accel.energy import EnergyBreakdown
 from repro.accel.focus_unit import FocusUnitActivity, focus_unit_activity
-from repro.accel.simulator import SimResult, simulate, simulate_many
+from repro.accel.sim_jobs import (
+    make_sim_jobs,
+    simulate_many_sharded,
+    traces_digest,
+)
+from repro.accel.simulator import (
+    SimResult,
+    canonical_dram,
+    dram_config,
+    plan_shards,
+    simulate,
+    simulate_many,
+)
 from repro.accel.systolic import (
     concentrated_gemm_cycles,
     dense_gemm_cycles,
@@ -57,8 +69,14 @@ __all__ = [
     "FocusUnitActivity",
     "focus_unit_activity",
     "SimResult",
+    "canonical_dram",
+    "dram_config",
+    "make_sim_jobs",
+    "plan_shards",
     "simulate",
     "simulate_many",
+    "simulate_many_sharded",
+    "traces_digest",
     "concentrated_gemm_cycles",
     "dense_gemm_cycles",
     "gemm_utilization",

@@ -1,0 +1,195 @@
+"""Sharded trace simulation as an engine workload.
+
+:func:`repro.accel.simulator.simulate_many` historically folded every
+per-sample trace on one core.  This module makes simulation a
+first-class, shardable job kind: a trace batch is split into contiguous
+shards, each shard becomes a ``sim`` :class:`~repro.engine.jobs.EvalJob`
+that the :class:`~repro.engine.scheduler.ExperimentEngine` dedupes,
+caches, and executes on its worker pool, and the per-trace results are
+re-folded in global trace order by :meth:`SimResult.merge
+<repro.accel.simulator.SimResult.merge>`.
+
+Bit-identity with the serial path is guaranteed by two choices:
+
+* every shard returns *per-trace* :class:`SimResult`\\ s (not a partial
+  sum), so the parent's final fold performs the exact same sequence of
+  float additions as the serial loop, regardless of shard boundaries
+  or worker count;
+* each shard constructs its own :class:`DramModel` from the canonical
+  field-value config (:func:`repro.accel.simulator.dram_config`), so a
+  shared, possibly mutated instance can never make shards drift.
+
+Job identity is content-addressed: the key hashes the trace batch
+digest, the architecture config, the DRAM config, and the shard span.
+The traces themselves ride in the job's ``payload`` (excluded from the
+key), which lets identical simulation requests — Fig. 9's power
+breakdown re-simulating a grid cell, repeated sweeps over one
+evaluation — hit the result cache without re-shipping work.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import time
+from collections import deque
+from typing import TYPE_CHECKING, Sequence
+
+from repro.accel.arch import ArchConfig
+from repro.accel.dram import DramModel
+from repro.accel.simulator import (
+    SimResult,
+    canonical_dram,
+    dram_config,
+    plan_shards,
+    simulate,
+)
+from repro.accel.trace import ModelTrace
+from repro.engine.jobs import EvalJob, register_job_kind
+
+if TYPE_CHECKING:
+    from repro.engine.scheduler import ExperimentEngine
+
+SIM_JOB_KIND = "sim"
+SIM_JOB_PROVIDER = "repro.accel.sim_jobs"
+
+SIM_TELEMETRY: deque[dict[str, object]] = deque(maxlen=1024)
+"""Most recent sharded ``simulate_many`` records: wall-clock, shard
+count, and engine cache/executed deltas.  Bounded so a long-lived
+process can't grow it without limit; the benchmark harness drains it
+into ``BENCH_sim.json``."""
+
+
+def reset_sim_telemetry() -> None:
+    SIM_TELEMETRY.clear()
+
+
+def traces_digest(traces: Sequence[ModelTrace]) -> str:
+    """Content digest of a trace batch.
+
+    Traces are dataclasses of ints and floats whose ``repr`` is
+    deterministic, so the digest is stable across processes and
+    sessions — it is the part of a sim job's identity that stands in
+    for the payload.
+    """
+    hasher = hashlib.sha256()
+    for trace in traces:
+        hasher.update(repr(trace).encode("utf-8"))
+    return hasher.hexdigest()[:32]
+
+
+def make_sim_jobs(
+    traces: Sequence[ModelTrace],
+    arch: ArchConfig,
+    dram: DramModel | None = None,
+    shard_size: int = 1,
+) -> list[EvalJob]:
+    """Plan one ``sim`` job per shard of ``traces``.
+
+    Every job is a pure function of its key — ``(trace-batch digest,
+    arch config, dram config, shard span)`` — with the shard's traces
+    attached as payload for transport to worker processes.
+    """
+    dram = canonical_dram(dram, arch)
+    config = dram_config(dram)
+    digest = traces_digest(traces)
+    jobs = []
+    for start, stop in plan_shards(len(traces), shard_size):
+        jobs.append(EvalJob(
+            model="trace",
+            dataset=digest[:12],
+            method=arch.name,
+            num_samples=stop - start,
+            seed=0,
+            kind=SIM_JOB_KIND,
+            extra=(
+                ("arch", arch),
+                ("dram", config),
+                ("traces", digest),
+                ("shard", (start, stop)),
+            ),
+            provider=SIM_JOB_PROVIDER,
+            payload=tuple(traces[start:stop]),
+        ))
+    return jobs
+
+
+@register_job_kind(SIM_JOB_KIND)
+def _execute_sim(job: EvalJob) -> tuple[SimResult, ...]:
+    """Simulate one shard; return *per-trace* results.
+
+    Returning per-trace results (rather than a shard-local fold) is
+    what lets the parent re-fold in global trace order and stay
+    bit-identical to serial execution for any shard size.
+    """
+    extra = job.extra_map
+    arch: ArchConfig = extra["arch"]
+    dram = DramModel(**dict(extra["dram"]))
+    traces = job.payload
+    if traces is None:
+        raise ValueError(
+            f"sim job {job.job_id} has no trace payload; sim jobs must "
+            "be built with make_sim_jobs()"
+        )
+    return tuple(simulate(trace, arch, dram) for trace in traces)
+
+
+def resolve_shard_size(
+    num_traces: int,
+    engine: "ExperimentEngine",
+    shard_size: int | None = None,
+) -> int:
+    """Pick the traces-per-shard for a batch on a given engine.
+
+    An explicit ``shard_size`` wins; otherwise the batch is split into
+    ``engine.sim_shards`` shards (when set, e.g. from the CLI's
+    ``--sim-shards``) or one shard per engine worker.
+    """
+    if shard_size is not None:
+        if shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+        return shard_size
+    shards = getattr(engine, "sim_shards", None)
+    if shards is None:
+        shards = getattr(engine, "workers", 1)
+    if shards < 1:
+        raise ValueError(f"sim_shards must be >= 1, got {shards}")
+    return max(1, math.ceil(num_traces / shards))
+
+
+def simulate_many_sharded(
+    traces: Sequence[ModelTrace],
+    arch: ArchConfig,
+    dram: DramModel | None,
+    engine: "ExperimentEngine",
+    shard_size: int | None = None,
+) -> SimResult:
+    """Run a trace batch as sharded sim jobs on an engine and merge.
+
+    Bit-identical to the serial :func:`repro.accel.simulator.
+    simulate_many` fold for every worker count and shard size (the
+    property the parity test harness locks in).
+    """
+    if not traces:
+        return SimResult(arch=arch.name)
+    shard_size = resolve_shard_size(len(traces), engine, shard_size)
+    # make_sim_jobs canonicalizes the DRAM model; each shard rebuilds
+    # its own instance from the config, so no extra round-trip here.
+    jobs = make_sim_jobs(traces, arch, dram, shard_size)
+
+    start = time.perf_counter()
+    executed_before = engine.stats.executed
+    hits_before = engine.cache.stats.hits
+    results = engine.run(jobs)
+    per_trace = [result for job in jobs for result in results[job]]
+
+    SIM_TELEMETRY.append({
+        "arch": arch.name,
+        "traces": len(traces),
+        "shards": len(jobs),
+        "shard_size": shard_size,
+        "wall_s": round(time.perf_counter() - start, 4),
+        "cache_hits": engine.cache.stats.hits - hits_before,
+        "executed": engine.stats.executed - executed_before,
+    })
+    return SimResult.merge(per_trace, arch=arch.name)

@@ -24,9 +24,16 @@ Flags:
 ``--workers N``
     Process-pool size.  Results are bit-identical for any ``N``; only
     wall-clock changes.
+``--sim-shards N``
+    Split each trace-simulation batch into ``N`` sharded ``sim`` jobs
+    (default: one per worker).  Sharded simulation is bit-identical to
+    serial for any shard count.
 ``--cache-dir DIR``
     On-disk content-addressed result cache.  A warm re-run of any
     experiment performs zero new evaluations.
+``--cache-max-mb MB``
+    LRU-prune the disk cache tier to at most ``MB`` megabytes, evicting
+    the least-recently-used entries first.
 ``--no-cache``
     Disable result caching (memory and disk) entirely.
 ``--progress``
@@ -71,8 +78,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (results are identical for any count)",
     )
     parser.add_argument(
+        "--sim-shards", type=int, default=None,
+        help="shards per trace-simulation batch (default: one per "
+             "worker; results are identical for any count)",
+    )
+    parser.add_argument(
         "--cache-dir", default=None,
         help="on-disk result cache directory (reused across runs)",
+    )
+    parser.add_argument(
+        "--cache-max-mb", type=float, default=None,
+        help="LRU-prune the disk cache to at most this many megabytes",
     )
     parser.add_argument(
         "--no-cache", action="store_true",
@@ -99,13 +115,23 @@ def make_engine(
     cache_dir: str | None = None,
     no_cache: bool = False,
     progress: bool = False,
+    sim_shards: int | None = None,
+    cache_max_mb: float | None = None,
 ) -> ExperimentEngine:
     """Build an engine from CLI-style options."""
-    cache = ResultCache(cache_dir=cache_dir, enabled=not no_cache)
+    max_disk_bytes = (
+        int(cache_max_mb * 1e6) if cache_max_mb is not None else None
+    )
+    cache = ResultCache(
+        cache_dir=cache_dir,
+        enabled=not no_cache,
+        max_disk_bytes=max_disk_bytes,
+    )
     return ExperimentEngine(
         workers=workers,
         cache=cache,
         progress=_print_progress if progress else None,
+        sim_shards=sim_shards,
     )
 
 
@@ -174,20 +200,27 @@ def main(argv: list[str] | None = None) -> int:
         cache_dir=args.cache_dir,
         no_cache=args.no_cache,
         progress=args.progress,
+        sim_shards=args.sim_shards,
+        cache_max_mb=args.cache_max_mb,
     )
     start = time.time()
-    reports = run_experiments(names, args.samples, args.seed, engine)
+    try:
+        reports = run_experiments(names, args.samples, args.seed, engine)
+    finally:
+        engine.close()
     for name in names:
         print(reports[name])
         print()
     stats = engine.stats
     cache = engine.cache.stats
+    sim_executed = stats.executed_by_kind.get("sim", 0)
+    sim_note = f" ({sim_executed} sim shards)" if sim_executed else ""
     print(
         f"[{', '.join(names)} done in {time.time() - start:.1f}s | "
         f"jobs: {stats.jobs_submitted} submitted, "
         f"{stats.jobs_deduped} deduped, {stats.cache_hits} cached "
-        f"({cache.disk_hits} from disk), {stats.executed} executed | "
-        f"workers={engine.workers}]"
+        f"({cache.disk_hits} from disk), {stats.executed} executed"
+        f"{sim_note} | workers={engine.workers}]"
     )
     return 0
 

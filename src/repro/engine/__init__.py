@@ -17,6 +17,7 @@ from repro.engine.registry import (
     EXPERIMENT_REGISTRY,
     ExperimentPlan,
     ExperimentSpec,
+    assemble_plan,
     default_engine,
     experiment_names,
     get_spec,
@@ -45,6 +46,7 @@ __all__ = [
     "EXPERIMENT_REGISTRY",
     "ExperimentPlan",
     "ExperimentSpec",
+    "assemble_plan",
     "default_engine",
     "experiment_names",
     "get_spec",

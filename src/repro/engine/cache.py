@@ -9,6 +9,10 @@ The memory tier makes any evaluation compute at most once per process;
 the disk tier (``cache_dir``) extends that across CLI invocations.
 Disk writes are atomic (temp file + rename) so a crashed run can never
 leave a truncated entry that poisons a later one.
+
+The disk tier can be size-capped (``max_disk_bytes``): every hit
+refreshes the entry's mtime as a ``last_used`` stamp, and writes prune
+least-recently-used entries until the tier fits the cap again.
 """
 
 from __future__ import annotations
@@ -36,6 +40,7 @@ class CacheStats:
     memory_hits: int = 0
     disk_hits: int = 0
     stores: int = 0
+    disk_evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -55,6 +60,7 @@ class CacheStats:
             "memory_hits": self.memory_hits,
             "disk_hits": self.disk_hits,
             "stores": self.stores,
+            "disk_evictions": self.disk_evictions,
             "hit_rate": self.hit_rate,
         }
 
@@ -67,16 +73,25 @@ class ResultCache:
             cache memory-only.  Created on first write.
         enabled: When ``False`` every lookup misses and nothing is
             stored (the CLI's ``--no-cache``).
+        max_disk_bytes: Size cap for the disk tier.  Writes that push
+            the tier over the cap evict least-recently-*used* entries
+            (disk hits refresh an entry's mtime) until it fits again;
+            ``None`` leaves the tier unbounded.
     """
 
     def __init__(
         self, cache_dir: str | os.PathLike | None = None,
         enabled: bool = True,
+        max_disk_bytes: int | None = None,
     ) -> None:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.enabled = enabled
+        if max_disk_bytes is not None and max_disk_bytes < 0:
+            raise ValueError("max_disk_bytes must be >= 0")
+        self.max_disk_bytes = max_disk_bytes
         self.stats = CacheStats()
         self._memory: dict[str, Any] = {}
+        self._disk_usage: int | None = None  # running total; lazy init
 
     def _path(self, job: EvalJob) -> Path:
         assert self.cache_dir is not None
@@ -101,8 +116,13 @@ class ResultCache:
                 except (OSError, pickle.UnpicklingError, EOFError,
                         AttributeError, ImportError):
                     # Unreadable entry: drop it and recompute.
+                    self._note_removed(path)
                     path.unlink(missing_ok=True)
                 else:
+                    try:
+                        os.utime(path)  # refresh the last_used stamp
+                    except OSError:
+                        pass
                     self._memory[job.job_id] = payload
                     self.stats.hits += 1
                     self.stats.disk_hits += 1
@@ -121,13 +141,95 @@ class ResultCache:
             fd, tmp = tempfile.mkstemp(
                 dir=self.cache_dir, suffix=".tmp"
             )
+            path = self._path(job)
+            old_size = self._entry_size(path)
             try:
                 with os.fdopen(fd, "wb") as fh:
                     pickle.dump(payload, fh, pickle.HIGHEST_PROTOCOL)
-                os.replace(tmp, self._path(job))
+                os.replace(tmp, path)
             except BaseException:
                 os.unlink(tmp)
                 raise
+            if self._disk_usage is not None:
+                self._disk_usage += self._entry_size(path) - old_size
+            self.prune_disk()
+
+    @staticmethod
+    def _entry_size(path: Path) -> int:
+        try:
+            return path.stat().st_size
+        except OSError:
+            return 0
+
+    def _note_removed(self, path: Path) -> None:
+        """Keep the running total current when an entry is dropped."""
+        if self._disk_usage is not None:
+            self._disk_usage = max(
+                0, self._disk_usage - self._entry_size(path)
+            )
+
+    def disk_usage_bytes(self) -> int:
+        """Total size of the disk tier's entries (running total)."""
+        if self.cache_dir is None:
+            return 0
+        if self._disk_usage is None:
+            if not self.cache_dir.is_dir():
+                return 0
+            self._disk_usage = sum(
+                size for _, _, size in self._disk_entries()
+            )
+        return self._disk_usage
+
+    def _disk_entries(self) -> list[tuple[Path, float, int]]:
+        """Disk entries as ``(path, last_used_mtime, size)`` tuples."""
+        assert self.cache_dir is not None
+        entries = []
+        for path in self.cache_dir.glob("*.pkl"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # concurrently evicted by another process
+            entries.append((path, stat.st_mtime, stat.st_size))
+        return entries
+
+    PRUNE_HEADROOM = 0.9
+    """Prune down to this fraction of the cap, so a saturated cache
+    absorbs a batch of writes before the next directory scan."""
+
+    def prune_disk(self) -> int:
+        """Evict LRU disk entries until the tier fits ``max_disk_bytes``.
+
+        Entries are ranked by mtime, which doubles as the ``last_used``
+        stamp (refreshed on every disk hit).  The memory tier is
+        untouched — an evicted entry already loaded this session stays
+        hot.  Returns the number of entries evicted.
+
+        The under-cap check rides on a running byte total, so puts are
+        O(1) until the cap is hit; only an actual prune scans the
+        directory (and evicts down to :attr:`PRUNE_HEADROOM` of the
+        cap, not just below it, to keep scans rare at saturation).
+        """
+        if (
+            self.max_disk_bytes is None
+            or self.cache_dir is None
+            or not self.cache_dir.is_dir()
+        ):
+            return 0
+        if self.disk_usage_bytes() <= self.max_disk_bytes:
+            return 0
+        entries = self._disk_entries()
+        total = sum(size for _, _, size in entries)
+        target = int(self.max_disk_bytes * self.PRUNE_HEADROOM)
+        evicted = 0
+        for path, _, size in sorted(entries, key=lambda e: e[1]):
+            if total <= target:
+                break
+            path.unlink(missing_ok=True)
+            total -= size
+            evicted += 1
+        self._disk_usage = total
+        self.stats.disk_evictions += evicted
+        return evicted
 
     def clear_memory(self) -> None:
         """Drop the memory tier (disk entries survive)."""

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Any, Callable
 
@@ -83,6 +83,11 @@ class EvalJob:
             started with ``spawn`` — which import nothing beyond this
             module — load the executor for any custom kind.  Not part
             of the job's identity.
+        payload: Opaque data shipped to the executor alongside the job
+            (e.g. a sim shard's traces).  Not part of the job's
+            identity: any key field that depends on the payload must be
+            a *content digest* of it (``sim`` jobs key on a trace
+            digest), so equal keys still mean interchangeable results.
     """
 
     model: str
@@ -95,6 +100,7 @@ class EvalJob:
     kind: str = "eval"
     extra: tuple[tuple[str, object], ...] = ()
     provider: str = ""
+    payload: Any = field(default=None, repr=False, compare=False)
 
     @cached_property
     def key(self) -> tuple:
@@ -145,8 +151,9 @@ class EvalJob:
     def describe(self) -> str:
         """Short human-readable label for progress lines."""
         quant = " int8" if self.quantized else ""
+        kind = f"[{self.kind}] " if self.kind != "eval" else ""
         return (
-            f"{self.method}{quant} on {self.model}/{self.dataset} "
+            f"{kind}{self.method}{quant} on {self.model}/{self.dataset} "
             f"(n={self.num_samples}, seed={self.seed})"
         )
 
@@ -183,7 +190,10 @@ def _execute_eval(job: EvalJob) -> Any:
     )
 
 
-DEFAULT_KIND_PROVIDERS = ("repro.eval.similarity_stats",)
+DEFAULT_KIND_PROVIDERS = (
+    "repro.eval.similarity_stats",
+    "repro.accel.sim_jobs",
+)
 """Modules imported when an unregistered kind is encountered and the
 job names no provider of its own."""
 

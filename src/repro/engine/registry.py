@@ -14,6 +14,7 @@ registry import-light.
 from __future__ import annotations
 
 import importlib
+import inspect
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Mapping
 
@@ -35,7 +36,10 @@ class ExperimentPlan:
         assemble: Pure function from the engine's results mapping to
             the experiment's result object.  It must not evaluate
             anything itself — only simulate, aggregate, and format —
-            so caching and parallelism stay complete.
+            so caching and parallelism stay complete.  An assembler
+            that accepts an ``engine`` keyword receives the engine the
+            plan ran on, so its trace simulations can shard onto the
+            same worker pool (results stay bit-identical either way).
     """
 
     jobs: tuple[EvalJob, ...]
@@ -119,12 +123,37 @@ def reset_default_engine() -> None:
     _default_engine = None
 
 
+def _accepts_engine(assemble: Assembler) -> bool:
+    """Whether an assembler takes an ``engine`` keyword."""
+    try:
+        parameters = inspect.signature(assemble).parameters
+    except (TypeError, ValueError):
+        return False
+    if "engine" in parameters:
+        return True
+    return any(
+        p.kind is inspect.Parameter.VAR_KEYWORD
+        for p in parameters.values()
+    )
+
+
+def assemble_plan(
+    plan: ExperimentPlan,
+    results: Mapping[EvalJob, Any],
+    engine: ExperimentEngine | None = None,
+) -> Any:
+    """Run a plan's assemble step, handing it the engine if it wants one."""
+    if engine is not None and _accepts_engine(plan.assemble):
+        return plan.assemble(results, engine=engine)
+    return plan.assemble(results)
+
+
 def run_plan(
     plan: ExperimentPlan, engine: ExperimentEngine | None = None
 ) -> Any:
     """Execute one plan and assemble its result."""
     engine = engine if engine is not None else default_engine()
-    return plan.assemble(engine.run(plan.jobs))
+    return assemble_plan(plan, engine.run(plan.jobs), engine)
 
 
 def run_experiments(
@@ -146,4 +175,7 @@ def run_experiments(
     plans = {name: get_spec(name).plan(**params) for name in names}
     all_jobs = [job for plan in plans.values() for job in plan.jobs]
     results = engine.run(all_jobs)
-    return {name: plan.assemble(results) for name, plan in plans.items()}
+    return {
+        name: assemble_plan(plan, results, engine)
+        for name, plan in plans.items()
+    }

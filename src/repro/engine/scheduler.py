@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping
 
@@ -61,8 +62,9 @@ class EngineStats:
     cache_hits: int = 0
     executed: int = 0
     wall_s: float = 0.0
+    executed_by_kind: dict[str, int] = field(default_factory=dict)
 
-    def as_dict(self) -> dict[str, float]:
+    def as_dict(self) -> dict[str, Any]:
         return {
             "jobs_submitted": self.jobs_submitted,
             "jobs_unique": self.jobs_unique,
@@ -70,10 +72,16 @@ class EngineStats:
             "cache_hits": self.cache_hits,
             "executed": self.executed,
             "wall_s": self.wall_s,
+            "executed_by_kind": dict(self.executed_by_kind),
         }
 
     def delta(self, earlier: "EngineStats") -> "EngineStats":
         """Counters accumulated since an earlier snapshot."""
+        by_kind = {
+            kind: count - earlier.executed_by_kind.get(kind, 0)
+            for kind, count in self.executed_by_kind.items()
+            if count - earlier.executed_by_kind.get(kind, 0)
+        }
         return EngineStats(
             jobs_submitted=self.jobs_submitted - earlier.jobs_submitted,
             jobs_unique=self.jobs_unique - earlier.jobs_unique,
@@ -81,10 +89,19 @@ class EngineStats:
             cache_hits=self.cache_hits - earlier.cache_hits,
             executed=self.executed - earlier.executed,
             wall_s=self.wall_s - earlier.wall_s,
+            executed_by_kind=by_kind,
         )
 
     def snapshot(self) -> "EngineStats":
-        return EngineStats(**self.as_dict())
+        return EngineStats(
+            jobs_submitted=self.jobs_submitted,
+            jobs_unique=self.jobs_unique,
+            jobs_deduped=self.jobs_deduped,
+            cache_hits=self.cache_hits,
+            executed=self.executed,
+            wall_s=self.wall_s,
+            executed_by_kind=dict(self.executed_by_kind),
+        )
 
 
 class ExperimentEngine:
@@ -97,6 +114,16 @@ class ExperimentEngine:
         progress: Optional streaming callback invoked from the
             scheduling process as jobs hit the cache, start, and
             complete.
+        sim_shards: Shards to split each trace-simulation batch into
+            when a driver routes :func:`repro.accel.simulator.
+            simulate_many` through this engine (the CLI's
+            ``--sim-shards``); ``None`` means one shard per worker.
+
+    The process pool is created lazily on the first parallel batch and
+    reused across :meth:`run` calls — a driver that runs many small
+    sharded-simulation batches pays the pool spawn cost once, not per
+    batch.  :meth:`close` (or the context-manager protocol) releases
+    the workers; a closed engine recreates the pool on next use.
     """
 
     def __init__(
@@ -104,13 +131,42 @@ class ExperimentEngine:
         workers: int = 1,
         cache: ResultCache | None = None,
         progress: ProgressCallback | None = None,
+        sim_shards: int | None = None,
     ) -> None:
         self.workers = max(1, int(workers))
         self.cache = cache if cache is not None else ResultCache()
         self.progress = progress
+        if sim_shards is not None and sim_shards < 1:
+            raise ValueError(f"sim_shards must be >= 1, got {sim_shards}")
+        self.sim_shards = sim_shards
         self.stats = EngineStats()
+        self._pool: ProcessPoolExecutor | None = None
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ExperimentEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass  # interpreter shutdown; atexit reaps the workers
 
     # -- internals ---------------------------------------------------
+
+    def _note_executed(self, job: EvalJob) -> None:
+        self.stats.executed += 1
+        self.stats.executed_by_kind[job.kind] = (
+            self.stats.executed_by_kind.get(job.kind, 0) + 1
+        )
 
     def _emit(
         self, action: str, job: EvalJob, completed: int, total: int,
@@ -129,18 +185,23 @@ class ExperimentEngine:
         for job in pending:
             self._emit("started", job, len(results), total, start)
             payload = execute_job(job)
-            self.stats.executed += 1
+            self._note_executed(job)
             self.cache.put(job, payload)
             results[job] = payload
             self._emit("completed", job, len(results), total, start)
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
 
     def _run_pool(
         self, pending: list[EvalJob], results: dict[EvalJob, Any],
         total: int, start: float,
     ) -> None:
-        workers = min(self.workers, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {}
+        pool = self._ensure_pool()
+        futures: dict[Any, EvalJob] = {}
+        try:
             for job in pending:
                 futures[pool.submit(execute_job, job)] = job
                 self._emit("started", job, len(results), total, start)
@@ -152,12 +213,29 @@ class ExperimentEngine:
                 for future in done:
                     job = futures[future]
                     payload = future.result()
-                    self.stats.executed += 1
+                    self._note_executed(job)
                     self.cache.put(job, payload)
                     results[job] = payload
                     self._emit(
                         "completed", job, len(results), total, start
                     )
+        except BrokenProcessPool:
+            # Release the broken executor's bookkeeping threads and let
+            # the next run start a fresh pool.
+            pool.shutdown(wait=False)
+            self._pool = None
+            raise
+        except BaseException:
+            # Quiesce the batch before propagating (what the old
+            # pool-per-run `with` block guaranteed): no orphan futures
+            # keep the persistent pool busy behind the caller's back.
+            # `futures` covers everything submitted, including jobs
+            # submitted before an error mid-loop; waiting on finished
+            # futures is free.
+            for future in futures:
+                future.cancel()
+            wait(set(futures))
+            raise
 
     # -- public API --------------------------------------------------
 

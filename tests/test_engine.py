@@ -130,6 +130,67 @@ class TestResultCache:
         assert cache.stats.hit_rate == pytest.approx(0.5)
 
 
+class TestDiskCacheLru:
+    """Size-capped LRU pruning of the disk tier, keyed on last_used."""
+
+    def _fill(self, tmp_path, jobs, payload_bytes=2000):
+        """Write entries uncapped with deterministic last_used stamps."""
+        import os
+        import time
+
+        writer = ResultCache(cache_dir=tmp_path)
+        base = time.time() - 1000
+        for index, job in enumerate(jobs):
+            writer.put(job, b"x" * payload_bytes)
+            # Deterministic last_used ordering: job i used at base + i.
+            os.utime(writer._path(job), (base + index, base + index))
+        return writer
+
+    def test_put_prunes_oldest_entries(self, tmp_path):
+        jobs = [_job(seed=s) for s in range(4)]
+        self._fill(tmp_path, jobs)
+        cache = ResultCache(cache_dir=tmp_path, max_disk_bytes=5000)
+        new_job = _job(seed=99)
+        cache.put(new_job, b"x" * 2000)
+        # ~2KB each under a 5KB cap: only the most recent two survive.
+        assert cache._path(new_job).exists()
+        assert cache._path(jobs[0]).exists() is False
+        assert cache._path(jobs[1]).exists() is False
+        assert cache.stats.disk_evictions >= 2
+        assert cache.disk_usage_bytes() <= 5000
+
+    def test_disk_hit_refreshes_last_used(self, tmp_path):
+        jobs = [_job(seed=s) for s in range(3)]
+        self._fill(tmp_path, jobs)
+        # Touch the oldest entry through a fresh instance (disk hit).
+        fresh = ResultCache(cache_dir=tmp_path, max_disk_bytes=7000)
+        assert fresh.get(jobs[0]) is not MISS
+        fresh.put(_job(seed=99), b"x" * 2000)
+        # jobs[0] was just used, so jobs[1] is now the LRU victim.
+        assert fresh._path(jobs[0]).exists()
+        assert fresh._path(jobs[1]).exists() is False
+
+    def test_memory_tier_survives_disk_eviction(self, tmp_path):
+        jobs = [_job(seed=s) for s in range(3)]
+        cache = self._fill(tmp_path, jobs)
+        cache.max_disk_bytes = 2500
+        assert cache.prune_disk() >= 1
+        assert cache._path(jobs[0]).exists() is False
+        # Evicted from disk, but this session already paid for them.
+        assert cache.get(jobs[0]) is not MISS
+        assert cache.stats.memory_hits == 1
+
+    def test_uncapped_cache_never_prunes(self, tmp_path):
+        jobs = [_job(seed=s) for s in range(4)]
+        cache = self._fill(tmp_path, jobs)
+        assert cache.prune_disk() == 0
+        assert all(cache._path(j).exists() for j in jobs)
+
+    def test_negative_cap_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_disk_bytes"):
+            ResultCache(cache_dir=tmp_path, max_disk_bytes=-1)
+
+
 @pytest.mark.slow
 class TestEngineScheduling:
     def test_duplicates_executed_once(self):
@@ -180,6 +241,17 @@ class TestEngineScheduling:
         assert events[-1].total == 2
         engine.run([_job()])
         assert events[-1].action == "cache-hit"
+
+    def test_failed_batch_quiesces_and_pool_recovers(self):
+        engine = ExperimentEngine(workers=2)
+        bad = [_job(seed=s, kind="nope") for s in range(3)]
+        with pytest.raises(KeyError, match="job kind"):
+            engine.run(bad)
+        # The persistent pool is quiesced, not poisoned: the next batch
+        # runs normally and close() returns promptly.
+        results = engine.run([_job(), _job(method="focus")])
+        assert len(results) == 2
+        engine.close()
 
     def test_disk_cache_warm_start_across_engines(self, tmp_path):
         job = _job()

@@ -1,0 +1,387 @@
+"""Sharded trace simulation: merge semantics, parity, and scheduling.
+
+The harness locks in the tentpole guarantee: sharded ``simulate_many``
+is *bit-identical* to the serial fold for every worker count and shard
+size.  Property tests (hypothesis, seeded random traces) pin down
+:meth:`SimResult.merge`'s algebra — order-invariance, associativity,
+empty-list identity, and accumulate-vs-merge equivalence — while the
+parity matrix exercises ``workers ∈ {1, 2, 4} × shard_size ∈ {1, 3,
+all}`` through real process pools, and the scheduler tests assert the
+``sim`` job kind's progress-event stream, dedupe, and caching.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel.arch import FOCUS, SYSTOLIC
+from repro.accel.dram import DramModel
+from repro.accel.sim_jobs import (
+    make_sim_jobs,
+    resolve_shard_size,
+    simulate_many_sharded,
+    traces_digest,
+)
+from repro.accel.simulator import (
+    SimResult,
+    canonical_dram,
+    dram_config,
+    plan_shards,
+    simulate,
+    simulate_many,
+)
+from repro.accel.trace import GemmTrace, ModelTrace
+from repro.engine import ExperimentEngine, ResultCache
+
+GEMM_SITES = ("qkv", "qk", "pv", "o_proj", "fc1", "fc2")
+
+INT_FIELDS = (
+    "cycles", "compute_cycles", "dram_cycles", "macs",
+    "dram_bytes", "activation_dram_bytes", "sram_bytes", "samples",
+)
+
+
+def make_traces(count: int, seed: int = 0) -> list[ModelTrace]:
+    """Deterministic pseudo-random traces (the parity fixtures)."""
+    rng = np.random.default_rng(seed)
+    traces = []
+    for _ in range(count):
+        trace = ModelTrace(initial_tokens=int(rng.integers(32, 256)))
+        for layer in range(int(rng.integers(1, 4))):
+            for name in GEMM_SITES[: int(rng.integers(2, 7))]:
+                m = int(rng.integers(8, 128))
+                k = int(rng.integers(8, 128))
+                n = int(rng.integers(8, 128))
+                gemm = GemmTrace(name=name, layer=layer, m=m, k=k, n=n)
+                if rng.random() < 0.5:
+                    blocks = gemm.k_blocks
+                    gemm.input_unique = int(rng.integers(1, m * blocks + 1))
+                    gemm.input_map_bits = int(rng.integers(0, 4096))
+                    gemm.scatter_ops = int(rng.integers(0, m * n))
+                trace.add(gemm)
+        trace.tile_lengths = [int(v) for v in rng.integers(1, 64, size=4)]
+        trace.tile_rows = [64] * 4
+        trace.preprocess_macs = int(rng.integers(0, 10_000))
+        trace.sic_comparisons = int(rng.integers(0, 10_000))
+        traces.append(trace)
+    return traces
+
+
+def sim_results(count: int, seed: int = 0) -> list[SimResult]:
+    return [simulate(t, SYSTOLIC) for t in make_traces(count, seed)]
+
+
+def assert_merged_close(a: SimResult, b: SimResult) -> None:
+    """Integer fields exact; float energy up to summation rounding."""
+    assert a.arch == b.arch
+    for name in INT_FIELDS:
+        assert getattr(a, name) == getattr(b, name), name
+    assert a.energy.core_j == pytest.approx(b.energy.core_j, rel=1e-12)
+    assert a.energy.buffer_j == pytest.approx(b.energy.buffer_j, rel=1e-12)
+    assert a.energy.dram_j == pytest.approx(b.energy.dram_j, rel=1e-12)
+
+
+class TestMergeProperties:
+    """SimResult.merge is an associative fold with an identity."""
+
+    @given(seed=st.integers(0, 2**16), count=st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_order_invariance(self, seed, count):
+        results = sim_results(count, seed)
+        permuted = list(reversed(results))
+        assert_merged_close(
+            SimResult.merge(results), SimResult.merge(permuted)
+        )
+
+    @given(
+        seed=st.integers(0, 2**16),
+        split=st.integers(1, 5),
+        count=st.integers(3, 9),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_associativity(self, seed, split, count):
+        results = sim_results(count, seed)
+        split = min(split, count - 1)
+        left_first = SimResult.merge([
+            SimResult.merge(results[:split]),
+            SimResult.merge(results[split:]),
+        ])
+        right_first = SimResult.merge(
+            [results[0], SimResult.merge(results[1:])]
+        )
+        flat = SimResult.merge(results)
+        assert_merged_close(left_first, flat)
+        assert_merged_close(right_first, flat)
+
+    def test_empty_list_identity(self):
+        identity = SimResult.merge([], arch=SYSTOLIC.name)
+        assert identity == SimResult(arch=SYSTOLIC.name)
+        results = sim_results(3)
+        with_identity = SimResult.merge([identity] + results)
+        # Prepending the identity is *exact*: 0 + x == x in IEEE too.
+        assert with_identity == SimResult.merge(results)
+
+    def test_empty_list_without_arch_raises(self):
+        with pytest.raises(ValueError, match="arch"):
+            SimResult.merge([])
+
+    def test_merge_rejects_mixed_arch(self):
+        focus = simulate(make_traces(1)[0], FOCUS)
+        dense = simulate(make_traces(1)[0], SYSTOLIC)
+        with pytest.raises(ValueError, match="architectures"):
+            SimResult.merge([focus, dense])
+
+    @given(seed=st.integers(0, 2**16), count=st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_accumulate_vs_merge_equivalence(self, seed, count):
+        traces = make_traces(count, seed)
+        accumulated = simulate(traces[0], SYSTOLIC)
+        for trace in traces[1:]:
+            accumulated.accumulate(simulate(trace, SYSTOLIC))
+        merged = SimResult.merge([simulate(t, SYSTOLIC) for t in traces])
+        # Per-trace merge in trace order is bit-identical to the
+        # serial accumulate loop — the invariant sharding rests on.
+        assert merged == accumulated
+
+
+class TestShardPlanner:
+    def test_covers_every_index_once(self):
+        shards = plan_shards(10, 3)
+        assert shards == [(0, 3), (3, 6), (6, 9), (9, 10)]
+
+    def test_single_shard(self):
+        assert plan_shards(4, 99) == [(0, 4)]
+
+    def test_empty(self):
+        assert plan_shards(0, 3) == []
+
+    def test_rejects_nonpositive_shard_size(self):
+        with pytest.raises(ValueError, match="shard_size"):
+            plan_shards(5, 0)
+
+    def test_resolve_defaults_to_one_shard_per_worker(self):
+        engine = ExperimentEngine(workers=4)
+        assert resolve_shard_size(10, engine) == 3  # ceil(10/4)
+        engine.sim_shards = 5
+        assert resolve_shard_size(10, engine) == 2
+
+    def test_resolve_explicit_wins(self):
+        engine = ExperimentEngine(workers=4, sim_shards=5)
+        assert resolve_shard_size(10, engine, shard_size=7) == 7
+        with pytest.raises(ValueError, match="shard_size"):
+            resolve_shard_size(10, engine, shard_size=0)
+
+    def test_invalid_sim_shards_rejected(self):
+        with pytest.raises(ValueError, match="sim_shards"):
+            ExperimentEngine(sim_shards=0)
+        with pytest.raises(ValueError, match="sim_shards"):
+            ExperimentEngine(sim_shards=-4)
+        engine = ExperimentEngine(workers=2)
+        engine.sim_shards = -1  # bypasses the constructor check
+        with pytest.raises(ValueError, match="sim_shards"):
+            resolve_shard_size(10, engine)
+
+
+class TestSimJobs:
+    def test_jobs_are_content_addressed(self):
+        traces = make_traces(4)
+        a = make_sim_jobs(traces, FOCUS, shard_size=2)
+        b = make_sim_jobs(make_traces(4), FOCUS, shard_size=2)
+        assert a == b
+        assert [j.job_id for j in a] == [j.job_id for j in b]
+
+    def test_key_distinguishes_traces_arch_dram_and_shard(self):
+        traces = make_traces(4)
+        base = make_sim_jobs(traces, FOCUS, shard_size=2)
+        assert len({j.key for j in base}) == 2  # distinct shard spans
+        other_traces = make_sim_jobs(make_traces(4, seed=9), FOCUS,
+                                     shard_size=2)
+        other_arch = make_sim_jobs(traces, SYSTOLIC, shard_size=2)
+        other_dram = make_sim_jobs(
+            traces, FOCUS, DramModel(efficiency=0.5), shard_size=2
+        )
+        for variant in (other_traces, other_arch, other_dram):
+            assert base[0] != variant[0]
+
+    def test_payload_not_part_of_identity(self):
+        traces = make_traces(2)
+        job, = make_sim_jobs(traces, FOCUS, shard_size=2)
+        stripped = job.__class__(**{
+            **{f: getattr(job, f) for f in (
+                "model", "dataset", "method", "num_samples", "seed",
+                "config", "quantized", "kind", "extra", "provider",
+            )},
+            "payload": None,
+        })
+        assert stripped == job
+        assert stripped.job_id == job.job_id
+
+    def test_digest_deterministic_and_sensitive(self):
+        assert traces_digest(make_traces(3)) == traces_digest(make_traces(3))
+        assert traces_digest(make_traces(3)) != traces_digest(
+            make_traces(3, seed=1)
+        )
+
+
+@pytest.mark.slow
+class TestShardedParity:
+    """Sharded simulate_many is bit-identical to serial, always."""
+
+    @pytest.fixture(scope="class")
+    def traces(self):
+        return make_traces(7, seed=3)
+
+    @pytest.fixture(scope="class")
+    def serial(self, traces):
+        return simulate_many(traces, FOCUS)
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("shard_size", [1, 3, 7])
+    def test_bit_identical_to_serial(self, traces, serial, workers,
+                                     shard_size):
+        engine = ExperimentEngine(workers=workers)
+        sharded = simulate_many(
+            traces, FOCUS, engine=engine, shard_size=shard_size
+        )
+        assert sharded == serial  # dataclass equality: every field exact
+
+    def test_auto_shard_size_parity(self, traces, serial):
+        engine = ExperimentEngine(workers=4)
+        assert simulate_many(traces, FOCUS, engine=engine) == serial
+
+    def test_repeat_run_served_from_cache(self, traces):
+        engine = ExperimentEngine(workers=2)
+        first = simulate_many(traces, FOCUS, engine=engine, shard_size=2)
+        executed = engine.stats.executed
+        second = simulate_many(traces, FOCUS, engine=engine, shard_size=2)
+        assert second == first
+        assert engine.stats.executed == executed
+        assert engine.stats.executed_by_kind["sim"] == executed
+
+    def test_shards_shared_across_shard_free_reruns(self, traces):
+        # Same digest + same shard span dedupe even across batch sizes
+        # that happen to produce an identical shard plan.
+        engine = ExperimentEngine()
+        simulate_many(traces, FOCUS, engine=engine, shard_size=7)
+        hits_before = engine.cache.stats.hits
+        simulate_many(traces, FOCUS, engine=engine, shard_size=7)
+        assert engine.cache.stats.hits == hits_before + 1
+
+    def test_worker_pool_persists_across_batches(self, traces):
+        with ExperimentEngine(workers=2) as engine:
+            simulate_many(traces, FOCUS, engine=engine, shard_size=1)
+            pool = engine._pool
+            assert pool is not None
+            simulate_many(traces, SYSTOLIC, engine=engine, shard_size=1)
+            assert engine._pool is pool  # reused, not respawned
+        assert engine._pool is None  # context exit released the workers
+        # A closed engine lazily recreates the pool on next use.
+        result = simulate_many(traces, FOCUS, engine=engine, shard_size=1)
+        assert result == simulate_many(traces, FOCUS)
+        engine.close()
+
+    def test_sim_results_persist_in_disk_cache(self, traces, tmp_path):
+        first = ExperimentEngine(cache=ResultCache(cache_dir=tmp_path))
+        cold = simulate_many(traces, FOCUS, engine=first, shard_size=3)
+        second = ExperimentEngine(cache=ResultCache(cache_dir=tmp_path))
+        warm = simulate_many(traces, FOCUS, engine=second, shard_size=3)
+        assert warm == cold
+        assert second.stats.executed == 0
+        assert second.cache.stats.disk_hits == 3
+
+
+@pytest.mark.slow
+class TestSimProgressEvents:
+    """The sim job kind streams ordered progress like any other kind."""
+
+    def test_event_counts_and_ordering(self):
+        traces = make_traces(7, seed=5)
+        events = []
+        engine = ExperimentEngine(workers=2, progress=events.append)
+        simulate_many(traces, FOCUS, engine=engine, shard_size=2)
+
+        sim_events = [e for e in events if e.job.kind == "sim"]
+        assert len(sim_events) == 8  # 4 shards x (started + completed)
+        actions = [e.action for e in sim_events]
+        assert actions.count("started") == 4
+        assert actions.count("completed") == 4
+        # Every shard starts before it completes.
+        for job in {e.job for e in sim_events}:
+            per_job = [e.action for e in sim_events if e.job == job]
+            assert per_job.index("started") < per_job.index("completed")
+        # Completion counters tick 1..4 and agree with the totals.
+        completed = [e.completed for e in sim_events
+                     if e.action == "completed"]
+        assert sorted(completed) == [1, 2, 3, 4]
+        assert all(e.total == 4 for e in sim_events)
+
+    def test_warm_rerun_streams_cache_hits(self):
+        traces = make_traces(5, seed=6)
+        events = []
+        engine = ExperimentEngine(progress=events.append)
+        simulate_many(traces, FOCUS, engine=engine, shard_size=2)
+        events.clear()
+        simulate_many(traces, FOCUS, engine=engine, shard_size=2)
+        assert [e.action for e in events] == ["cache-hit"] * 3
+        assert events[-1].completed == events[-1].total == 3
+
+    def test_describe_names_the_kind(self):
+        job, = make_sim_jobs(make_traces(1), FOCUS, shard_size=1)
+        assert job.describe().startswith("[sim] focus on trace/")
+
+
+class TestDramNormalization:
+    """A shared, possibly mutated DramModel cannot skew any path."""
+
+    def test_mutated_frozen_instance_normalized(self):
+        traces = make_traces(3, seed=8)
+        shared = DramModel()
+        object.__setattr__(shared, "efficiency", 0.5)  # defeats frozen=True
+        serial = simulate_many(traces, FOCUS, shared)
+        explicit = simulate_many(traces, FOCUS, DramModel(efficiency=0.5))
+        assert serial == explicit
+        engine = ExperimentEngine(workers=2)
+        sharded = simulate_many(
+            traces, FOCUS, shared, engine=engine, shard_size=1
+        )
+        assert sharded == serial
+
+    def test_subclass_rejected(self):
+        class TamperedDram(DramModel):
+            def transfer_cycles(self, num_bytes, frequency_hz):
+                return 0
+
+        with pytest.raises(TypeError, match="DramModel"):
+            simulate_many(make_traces(1), FOCUS, TamperedDram())
+        with pytest.raises(TypeError, match="DramModel"):
+            dram_config(TamperedDram())
+
+    def test_canonical_dram_defaults_to_arch_bandwidth(self):
+        dram = canonical_dram(None, FOCUS)
+        assert dram == DramModel(bandwidth_gbs=FOCUS.dram_bandwidth_gbs)
+
+    def test_config_roundtrip(self):
+        dram = DramModel(bandwidth_gbs=32.0, efficiency=0.7)
+        assert DramModel(**dict(dram_config(dram))) == dram
+
+
+@pytest.mark.slow
+class TestDriverShardingParity:
+    """A driver's sharded simulation phase matches the serial default."""
+
+    def test_fig11_sharded_equals_serial(self):
+        from repro.engine.registry import run_plan
+        from repro.eval.experiments import plan_fig11
+
+        # Genuine serial baseline: assemble with no engine, so its
+        # simulations use the in-process fold rather than sim jobs.
+        plan = plan_fig11(num_samples=1)
+        serial = plan.assemble(ExperimentEngine(workers=1).run(plan.jobs))
+
+        sharded_engine = ExperimentEngine(workers=2, sim_shards=2)
+        sharded = run_plan(plan_fig11(num_samples=1), sharded_engine)
+        assert sharded == serial
+        assert sharded_engine.stats.executed_by_kind.get("sim", 0) > 0
