@@ -29,8 +29,6 @@ evaluation — hit the result cache without re-shipping work.
 
 from __future__ import annotations
 
-import hashlib
-import math
 import time
 from collections import deque
 from typing import TYPE_CHECKING, Sequence
@@ -41,11 +39,15 @@ from repro.accel.simulator import (
     SimResult,
     canonical_dram,
     dram_config,
-    plan_shards,
     simulate,
 )
 from repro.accel.trace import ModelTrace
 from repro.engine.jobs import EvalJob, register_job_kind
+from repro.engine.sharding import (  # noqa: F401  (plan_shards re-export)
+    plan_shards,
+    sequence_digest,
+    shard_count_to_size,
+)
 
 if TYPE_CHECKING:
     from repro.engine.scheduler import ExperimentEngine
@@ -68,14 +70,11 @@ def traces_digest(traces: Sequence[ModelTrace]) -> str:
     """Content digest of a trace batch.
 
     Traces are dataclasses of ints and floats whose ``repr`` is
-    deterministic, so the digest is stable across processes and
-    sessions — it is the part of a sim job's identity that stands in
-    for the payload.
+    deterministic, so the digest (see :func:`repro.engine.sharding.
+    sequence_digest`) is stable across processes and sessions — it is
+    the part of a sim job's identity that stands in for the payload.
     """
-    hasher = hashlib.sha256()
-    for trace in traces:
-        hasher.update(repr(trace).encode("utf-8"))
-    return hasher.hexdigest()[:32]
+    return sequence_digest(traces)
 
 
 def make_sim_jobs(
@@ -154,7 +153,7 @@ def resolve_shard_size(
         shards = getattr(engine, "workers", 1)
     if shards < 1:
         raise ValueError(f"sim_shards must be >= 1, got {shards}")
-    return max(1, math.ceil(num_traces / shards))
+    return shard_count_to_size(num_traces, shards)
 
 
 def simulate_many_sharded(

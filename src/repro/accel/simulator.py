@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Sequence
 
 from repro.accel.arch import ArchConfig
 from repro.accel.dram import DramModel
+from repro.engine.sharding import plan_shards  # noqa: F401  (re-export)
 
 if TYPE_CHECKING:
     from repro.engine.scheduler import ExperimentEngine
@@ -188,16 +189,6 @@ def canonical_dram(dram: DramModel | None, arch: ArchConfig) -> DramModel:
     if dram is None:
         dram = DramModel(bandwidth_gbs=arch.dram_bandwidth_gbs)
     return DramModel(**dict(dram_config(dram)))
-
-
-def plan_shards(num_items: int, shard_size: int) -> list[tuple[int, int]]:
-    """Split ``num_items`` into contiguous ``[start, stop)`` shards."""
-    if shard_size < 1:
-        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
-    return [
-        (start, min(start + shard_size, num_items))
-        for start in range(0, num_items, shard_size)
-    ]
 
 
 def _gemm_dram_bytes(

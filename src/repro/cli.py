@@ -28,6 +28,14 @@ Flags:
     Split each trace-simulation batch into ``N`` sharded ``sim`` jobs
     (default: one per worker).  Sharded simulation is bit-identical to
     serial for any shard count.
+``--eval-shards N``
+    Evaluate each (model, dataset, method) cell in spans of ``N``
+    samples, scheduled as individual ``eval-shard`` jobs (default:
+    whole cells).  Sharded evaluation is bit-identical to serial for
+    any span size; spans cache individually, so re-running with a
+    larger ``--samples`` executes only each cell's new suffix spans.
+    With ``--progress``, finished spans stream their cell's running
+    accuracy/sparsity.
 ``--cache-dir DIR``
     On-disk content-addressed result cache.  A warm re-run of any
     experiment performs zero new evaluations.
@@ -83,6 +91,11 @@ def build_parser() -> argparse.ArgumentParser:
              "worker; results are identical for any count)",
     )
     parser.add_argument(
+        "--eval-shards", type=int, default=None,
+        help="samples per evaluation shard (default: whole cells; "
+             "results are identical for any span size)",
+    )
+    parser.add_argument(
         "--cache-dir", default=None,
         help="on-disk result cache directory (reused across runs)",
     )
@@ -102,6 +115,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _print_progress(event: ProgressEvent) -> None:
+    if event.action == "eval-shard-done" and event.detail:
+        d = event.detail
+        print(
+            f"[engine {event.completed}/{event.total} "
+            f"{event.elapsed_s:6.1f}s] shard "
+            f"{d['shards_done']}/{d['shards_total']} of {d['parent']} | "
+            f"running acc {d['accuracy']:.1f}% "
+            f"sparsity {d['sparsity']:.1f}% "
+            f"({d['samples']} samples)",
+            file=sys.stderr,
+        )
+        return
     print(
         f"[engine {event.completed}/{event.total} "
         f"{event.elapsed_s:6.1f}s] {event.action:9s} "
@@ -117,6 +142,7 @@ def make_engine(
     progress: bool = False,
     sim_shards: int | None = None,
     cache_max_mb: float | None = None,
+    eval_shards: int | None = None,
 ) -> ExperimentEngine:
     """Build an engine from CLI-style options."""
     max_disk_bytes = (
@@ -132,6 +158,7 @@ def make_engine(
         cache=cache,
         progress=_print_progress if progress else None,
         sim_shards=sim_shards,
+        eval_shards=eval_shards,
     )
 
 
@@ -202,6 +229,7 @@ def main(argv: list[str] | None = None) -> int:
         progress=args.progress,
         sim_shards=args.sim_shards,
         cache_max_mb=args.cache_max_mb,
+        eval_shards=args.eval_shards,
     )
     start = time.time()
     try:
@@ -213,14 +241,18 @@ def main(argv: list[str] | None = None) -> int:
         print()
     stats = engine.stats
     cache = engine.cache.stats
-    sim_executed = stats.executed_by_kind.get("sim", 0)
-    sim_note = f" ({sim_executed} sim shards)" if sim_executed else ""
+    shard_notes = []
+    for kind, label in (("sim", "sim shards"), ("eval-shard", "eval shards")):
+        executed = stats.executed_by_kind.get(kind, 0)
+        if executed:
+            shard_notes.append(f"{executed} {label}")
+    shard_note = f" ({', '.join(shard_notes)})" if shard_notes else ""
     print(
         f"[{', '.join(names)} done in {time.time() - start:.1f}s | "
         f"jobs: {stats.jobs_submitted} submitted, "
         f"{stats.jobs_deduped} deduped, {stats.cache_hits} cached "
         f"({cache.disk_hits} from disk), {stats.executed} executed"
-        f"{sim_note} | workers={engine.workers}]"
+        f"{shard_note} | workers={engine.workers}]"
     )
     return 0
 

@@ -32,6 +32,11 @@ from repro.engine.scheduler import (
     ExperimentEngine,
     ProgressEvent,
 )
+from repro.engine.sharding import (
+    plan_shards,
+    sequence_digest,
+    shard_count_to_size,
+)
 
 __all__ = [
     "MISS",
@@ -58,4 +63,7 @@ __all__ = [
     "EngineStats",
     "ExperimentEngine",
     "ProgressEvent",
+    "plan_shards",
+    "sequence_digest",
+    "shard_count_to_size",
 ]

@@ -20,7 +20,7 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
@@ -33,7 +33,14 @@ legitimately be falsy)."""
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters, cumulative over the cache's lifetime."""
+    """Hit/miss counters, cumulative over the cache's lifetime.
+
+    Besides the totals, lookups are counted per job *kind*
+    (``hits_by_kind`` / ``misses_by_kind``): a sharded-eval re-run with
+    a larger ``--samples`` reports its prefix-reuse rate as the
+    ``eval-shard`` hit fraction, which the totals alone can't separate
+    from sim-shard or whole-cell traffic.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -41,6 +48,8 @@ class CacheStats:
     disk_hits: int = 0
     stores: int = 0
     disk_evictions: int = 0
+    hits_by_kind: dict[str, int] = field(default_factory=dict)
+    misses_by_kind: dict[str, int] = field(default_factory=dict)
 
     @property
     def lookups(self) -> int:
@@ -53,7 +62,15 @@ class CacheStats:
             return 0.0
         return self.hits / self.lookups
 
-    def as_dict(self) -> dict[str, float]:
+    def _note(self, kind: str, hit: bool) -> None:
+        by_kind = self.hits_by_kind if hit else self.misses_by_kind
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+
+    def as_dict(self) -> dict[str, Any]:
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -62,6 +79,8 @@ class CacheStats:
             "stores": self.stores,
             "disk_evictions": self.disk_evictions,
             "hit_rate": self.hit_rate,
+            "hits_by_kind": dict(self.hits_by_kind),
+            "misses_by_kind": dict(self.misses_by_kind),
         }
 
 
@@ -100,11 +119,11 @@ class ResultCache:
     def get(self, job: EvalJob) -> Any:
         """Return the cached payload for ``job`` or :data:`MISS`."""
         if not self.enabled:
-            self.stats.misses += 1
+            self.stats._note(job.kind, hit=False)
             return MISS
         payload = self._memory.get(job.job_id, MISS)
         if payload is not MISS:
-            self.stats.hits += 1
+            self.stats._note(job.kind, hit=True)
             self.stats.memory_hits += 1
             return payload
         if self.cache_dir is not None:
@@ -124,10 +143,10 @@ class ResultCache:
                     except OSError:
                         pass
                     self._memory[job.job_id] = payload
-                    self.stats.hits += 1
+                    self.stats._note(job.kind, hit=True)
                     self.stats.disk_hits += 1
                     return payload
-        self.stats.misses += 1
+        self.stats._note(job.kind, hit=False)
         return MISS
 
     def put(self, job: EvalJob, payload: Any) -> None:

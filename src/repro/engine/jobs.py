@@ -9,8 +9,10 @@ execution safe.
 
 Job kinds are extensible: ``eval`` (the standard
 :func:`repro.eval.runner.evaluate` cell) is built in, and other modules
-register additional kinds with :func:`register_job_kind` (e.g. the
-Fig. 2(b) similarity capture in :mod:`repro.eval.similarity_stats`).
+register additional kinds with :func:`register_job_kind` — the
+Fig. 2(b) similarity capture in :mod:`repro.eval.similarity_stats`,
+sharded trace simulation in :mod:`repro.accel.sim_jobs`, and
+per-sample-span evaluation shards in :mod:`repro.eval.eval_shards`.
 """
 
 from __future__ import annotations
@@ -193,6 +195,7 @@ def _execute_eval(job: EvalJob) -> Any:
 DEFAULT_KIND_PROVIDERS = (
     "repro.eval.similarity_stats",
     "repro.accel.sim_jobs",
+    "repro.eval.eval_shards",
 )
 """Modules imported when an unregistered kind is encountered and the
 job names no provider of its own."""

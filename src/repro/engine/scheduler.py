@@ -5,7 +5,10 @@ EvalJob` objects — possibly collected from *several* experiments —
 collapses duplicates by key, serves what it can from the result cache,
 and runs the remainder either in-process (``workers=1``) or on a
 :class:`~concurrent.futures.ProcessPoolExecutor`.  Progress events
-stream to an optional callback as jobs finish.
+stream to an optional callback as jobs finish.  With ``eval_shards``
+set, whole-cell ``eval`` jobs are further split into per-sample-span
+shards (:mod:`repro.eval.eval_shards`) that execute, dedupe, and cache
+individually and stream running partial results as they land.
 
 Because every job is a pure function of its key (see
 :mod:`repro.engine.jobs`), parallel execution is bit-identical to
@@ -30,11 +33,20 @@ class ProgressEvent:
     """One streamed scheduling event.
 
     Attributes:
-        action: ``"cache-hit"``, ``"started"`` or ``"completed"``.
+        action: ``"cache-hit"``, ``"started"``, ``"completed"``, or
+            ``"eval-shard-done"`` (a sharded cell's span finished —
+            streamed *in addition to* the span job's own
+            cache-hit/completed event).
         job: The job the event refers to.
         completed: Jobs finished so far (including cache hits).
-        total: Unique jobs in this batch.
+        total: Schedulable units in this batch (sharded cells count
+            their spans, not the merged parent).
         elapsed_s: Seconds since the batch started.
+        detail: Action-specific payload; for ``eval-shard-done`` the
+            running partial result of the shard's parent cell
+            (``parent``, ``shards_done``, ``shards_total``,
+            ``samples``, ``accuracy``, ``sparsity`` — see
+            :meth:`repro.eval.eval_shards.ShardProgress.as_detail`).
     """
 
     action: str
@@ -42,6 +54,7 @@ class ProgressEvent:
     completed: int
     total: int
     elapsed_s: float = 0.0
+    detail: Any = None
 
 
 ProgressCallback = Callable[[ProgressEvent], None]
@@ -118,6 +131,17 @@ class ExperimentEngine:
             when a driver routes :func:`repro.accel.simulator.
             simulate_many` through this engine (the CLI's
             ``--sim-shards``); ``None`` means one shard per worker.
+        eval_shards: Samples per evaluation shard (the CLI's
+            ``--eval-shards``).  When set, whole-cell ``eval`` jobs
+            that miss the cache are split into per-sample-span
+            ``eval-shard`` jobs (:mod:`repro.eval.eval_shards`) that
+            parallelize on the worker pool and stream
+            ``eval-shard-done`` partial results; the spans are
+            re-folded in global sample order, bit-identical to the
+            serial cell for any worker count and span size.  Span keys
+            exclude the cell's total sample count, so growing a cell
+            re-executes only its new suffix spans.  ``None`` (default)
+            schedules whole cells.
 
     The process pool is created lazily on the first parallel batch and
     reused across :meth:`run` calls — a driver that runs many small
@@ -132,6 +156,7 @@ class ExperimentEngine:
         cache: ResultCache | None = None,
         progress: ProgressCallback | None = None,
         sim_shards: int | None = None,
+        eval_shards: int | None = None,
     ) -> None:
         self.workers = max(1, int(workers))
         self.cache = cache if cache is not None else ResultCache()
@@ -139,6 +164,11 @@ class ExperimentEngine:
         if sim_shards is not None and sim_shards < 1:
             raise ValueError(f"sim_shards must be >= 1, got {sim_shards}")
         self.sim_shards = sim_shards
+        if eval_shards is not None and eval_shards < 1:
+            raise ValueError(
+                f"eval_shards must be >= 1, got {eval_shards}"
+            )
+        self.eval_shards = eval_shards
         self.stats = EngineStats()
         self._pool: ProcessPoolExecutor | None = None
 
@@ -170,17 +200,18 @@ class ExperimentEngine:
 
     def _emit(
         self, action: str, job: EvalJob, completed: int, total: int,
-        start: float,
+        start: float, detail: Any = None,
     ) -> None:
         if self.progress is not None:
             self.progress(ProgressEvent(
                 action=action, job=job, completed=completed, total=total,
-                elapsed_s=time.perf_counter() - start,
+                elapsed_s=time.perf_counter() - start, detail=detail,
             ))
 
     def _run_serial(
         self, pending: list[EvalJob], results: dict[EvalJob, Any],
         total: int, start: float,
+        on_done: Callable[[EvalJob, Any, int], None] | None = None,
     ) -> None:
         for job in pending:
             self._emit("started", job, len(results), total, start)
@@ -189,6 +220,8 @@ class ExperimentEngine:
             self.cache.put(job, payload)
             results[job] = payload
             self._emit("completed", job, len(results), total, start)
+            if on_done is not None:
+                on_done(job, payload, len(results))
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -198,6 +231,7 @@ class ExperimentEngine:
     def _run_pool(
         self, pending: list[EvalJob], results: dict[EvalJob, Any],
         total: int, start: float,
+        on_done: Callable[[EvalJob, Any, int], None] | None = None,
     ) -> None:
         pool = self._ensure_pool()
         futures: dict[Any, EvalJob] = {}
@@ -219,6 +253,8 @@ class ExperimentEngine:
                     self._emit(
                         "completed", job, len(results), total, start
                     )
+                    if on_done is not None:
+                        on_done(job, payload, len(results))
         except BrokenProcessPool:
             # Release the broken executor's bookkeeping threads and let
             # the next run start a fresh pool.
@@ -245,6 +281,16 @@ class ExperimentEngine:
         Duplicate jobs (equal keys) are computed once; the returned
         mapping resolves *any* submitted job, duplicate or not, since
         jobs hash by key.
+
+        With ``eval_shards`` set, whole-cell ``eval`` jobs that miss
+        the cache are split into per-sample-span ``eval-shard`` jobs,
+        which dedupe and cache individually (two cells covering the
+        same span share it, even at different total sample counts).
+        Each finished span streams an ``eval-shard-done`` event with
+        its cell's running partial result; the merged cell — re-folded
+        in global sample order, bit-identical to serial evaluation —
+        is stored back under the whole-cell key and returned alongside
+        the span results.
         """
         start = time.perf_counter()
         submitted = list(jobs)
@@ -257,24 +303,87 @@ class ExperimentEngine:
         self.stats.jobs_unique += len(ordered)
         self.stats.jobs_deduped += len(submitted) - len(ordered)
 
+        shard_lib = None
+        if self.eval_shards is not None:
+            # Lazy: the engine layer must stay importable without the
+            # eval layer; only a sharding run needs it.
+            from repro.eval import eval_shards as shard_lib
+
         results: dict[EvalJob, Any] = {}
+        hits: list[EvalJob] = []
         pending: list[EvalJob] = []
+        plans: dict[EvalJob, tuple[EvalJob, ...]] = {}
+        trackers: dict[EvalJob, Any] = {}
+        shard_parents: dict[EvalJob, list[EvalJob]] = {}
+
+        classified: set[EvalJob] = set()
         for job in ordered:
+            if job in classified:
+                continue  # already scheduled as some cell's span
+            classified.add(job)
             payload = self.cache.get(job)
             if payload is not MISS:
                 self.stats.cache_hits += 1
                 results[job] = payload
-                self._emit(
-                    "cache-hit", job, len(results), len(ordered), start
+                hits.append(job)
+                continue
+            if shard_lib is not None and job.kind == "eval":
+                shards = shard_lib.plan_eval_shards(job, self.eval_shards)
+                plans[job] = shards
+                trackers[job] = shard_lib.ShardProgress(
+                    shards_total=len(shards)
                 )
+                for shard in shards:
+                    shard_parents.setdefault(shard, []).append(job)
+                    if shard in classified:
+                        # Span shared with an earlier cell, or the
+                        # same job was submitted directly: scheduled
+                        # once, merged into every parent.
+                        continue
+                    classified.add(shard)
+                    span_payload = self.cache.get(shard)
+                    if span_payload is not MISS:
+                        self.stats.cache_hits += 1
+                        results[shard] = span_payload
+                        hits.append(shard)
+                    else:
+                        pending.append(shard)
             else:
                 pending.append(job)
 
+        # Sharding changes the batch's unit count, so the total is only
+        # known now; cache-hit events are emitted after classification.
+        total = len(hits) + len(pending)
+
+        def note_shard_done(
+            shard: EvalJob, payload: Any, completed: int
+        ) -> None:
+            for parent in shard_parents.get(shard, ()):
+                tracker = trackers[parent]
+                tracker.update(payload)
+                self._emit(
+                    "eval-shard-done", shard, completed, total, start,
+                    detail=tracker.as_detail(parent),
+                )
+
+        for done, job in enumerate(hits, start=1):
+            self._emit("cache-hit", job, done, total, start)
+            if job in shard_parents:
+                note_shard_done(job, results[job], done)
+
         if pending:
+            on_done = note_shard_done if plans else None
             if self.workers == 1 or len(pending) == 1:
-                self._run_serial(pending, results, len(ordered), start)
+                self._run_serial(pending, results, total, start, on_done)
             else:
-                self._run_pool(pending, results, len(ordered), start)
+                self._run_pool(pending, results, total, start, on_done)
+
+        for parent, shards in plans.items():
+            merged = shard_lib.merge_eval_shards(
+                parent, [results[shard] for shard in shards]
+            )
+            self.cache.put(parent, merged)
+            results[parent] = merged
 
         self.stats.wall_s += time.perf_counter() - start
         return results

@@ -1,0 +1,58 @@
+"""Shared shard-planning and content-digest helpers.
+
+Both sharded workloads — trace simulation (:mod:`repro.accel.sim_jobs`)
+and per-sample evaluation (:mod:`repro.eval.eval_shards`) — split a
+batch of items into contiguous ``[start, stop)`` spans, give every span
+a content-addressed job key, and re-fold the per-item results in global
+order.  The planning arithmetic and the digesting live here so the two
+paths can never drift apart; :mod:`repro.accel.simulator` and
+:mod:`repro.accel.sim_jobs` re-export the names they historically
+owned.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Iterable
+
+Span = tuple[int, int]
+
+
+def plan_shards(num_items: int, shard_size: int) -> list[Span]:
+    """Split ``num_items`` into contiguous ``[start, stop)`` shards.
+
+    Span boundaries depend only on ``shard_size``, never on the total:
+    a batch that *grows* keeps every existing span and appends new ones
+    (``plan_shards(9, 3)`` is a prefix of ``plan_shards(12, 3)``).
+    That prefix stability is what lets a larger re-run of a sharded
+    workload serve its old spans from the result cache and execute only
+    the new suffix.
+    """
+    if shard_size < 1:
+        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+    return [
+        (start, min(start + shard_size, num_items))
+        for start in range(0, num_items, shard_size)
+    ]
+
+
+def shard_count_to_size(num_items: int, num_shards: int) -> int:
+    """Items per shard when splitting a batch into ``num_shards``."""
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    return max(1, math.ceil(num_items / num_shards))
+
+
+def sequence_digest(items: Iterable[object], length: int = 32) -> str:
+    """Content digest of an item sequence via each item's ``repr``.
+
+    Items must have deterministic, value-complete ``repr``\\ s (plain
+    dataclasses of ints/floats qualify), so the digest is stable across
+    processes and sessions — it is the part of a sharded job's identity
+    that stands in for the payload.
+    """
+    hasher = hashlib.sha256()
+    for item in items:
+        hasher.update(repr(item).encode("utf-8"))
+    return hasher.hexdigest()[:length]

@@ -11,6 +11,7 @@ from repro.eval.runner import (
     ModelCache,
     evaluate,
     evaluate_samples,
+    evaluate_span,
     make_plugin,
 )
 from repro.eval.statistics import (
@@ -28,6 +29,7 @@ __all__ = [
     "ModelCache",
     "evaluate",
     "evaluate_samples",
+    "evaluate_span",
     "make_plugin",
     "PairedComparison",
     "paired_bootstrap",

@@ -10,6 +10,7 @@ counts, so pruned-token methods are charged correctly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -76,3 +77,69 @@ class EvalResult:
         for trace in self.traces:
             merged.merge(trace)
         return merged
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.correct)
+
+    def accumulate(self, other: "EvalResult") -> None:
+        """Append another span's per-sample records to this one.
+
+        Both results must describe the same (model, dataset, method)
+        cell; the per-sample lists concatenate in call order, so
+        accumulating span results in global sample order reproduces
+        the serial :func:`~repro.eval.runner.evaluate` loop exactly.
+        """
+        labels = (self.model, self.dataset, self.method)
+        if (other.model, other.dataset, other.method) != labels:
+            raise ValueError(
+                "cannot accumulate across cells: "
+                f"{labels} vs {(other.model, other.dataset, other.method)}"
+            )
+        self.correct.extend(other.correct)
+        self.sparsities.extend(other.sparsities)
+        self.traces.extend(other.traces)
+        self.dense_macs.extend(other.dense_macs)
+
+    @staticmethod
+    def merge(
+        results: Sequence["EvalResult"],
+        model: str | None = None,
+        dataset: str | None = None,
+        method: str | None = None,
+    ) -> "EvalResult":
+        """Fold per-span results into one cell (associative reduce).
+
+        Merging starts from an empty identity and concatenates each
+        span's per-sample lists in sequence order, so merging spans in
+        global sample order is *bit-identical* to evaluating the whole
+        cell serially: the same flags, sparsities, and traces in the
+        same positions, hence the same ``accuracy``/``sparsity`` means
+        down to the last bit.  Concatenation is exactly associative;
+        only a *reordering* of spans can move the floating-point means
+        by summation rounding.
+
+        Args:
+            results: Span results to fold; all must share one
+                (model, dataset, method) cell.
+            model / dataset / method: Cell labels for the
+                empty-sequence identity (required when ``results`` is
+                empty, checked for consistency otherwise).
+        """
+        results = list(results)
+        if not results:
+            if model is None or dataset is None or method is None:
+                raise ValueError(
+                    "merging zero results needs explicit model/dataset/"
+                    "method labels for the identity element"
+                )
+            return EvalResult(model=model, dataset=dataset, method=method)
+        first = results[0]
+        total = EvalResult(
+            model=model if model is not None else first.model,
+            dataset=dataset if dataset is not None else first.dataset,
+            method=method if method is not None else first.method,
+        )
+        for result in results:
+            total.accumulate(result)
+        return total

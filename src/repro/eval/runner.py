@@ -18,12 +18,13 @@ from repro.baselines.framefusion import FrameFusionPlugin
 from repro.config import DEFAULT_CONFIG, FocusConfig
 from repro.core.adaptive import AdaptiveFocusPlugin
 from repro.core.pipeline import FocusPlugin
+from repro.engine.jobs import config_digest
 from repro.eval.metrics import EvalResult, computation_sparsity, dense_macs_for
 from repro.model.plugins import InferencePlugin
 from repro.model.vlm import SyntheticVLM
 from repro.model.zoo import get_model_config
 from repro.quant.int8 import Int8ActivationPlugin, quantize_model
-from repro.workloads.datasets import Sample, make_dataset
+from repro.workloads.datasets import Sample, make_dataset_span
 
 PluginFactory = Callable[[SyntheticVLM, FocusConfig], InferencePlugin]
 
@@ -67,15 +68,29 @@ def make_plugin(
 
 
 class ModelCache:
-    """Constructs each synthetic model at most once per process."""
+    """Constructs each synthetic model at most once per process.
 
-    _models: dict[str, SyntheticVLM] = {}
+    Entries are keyed on ``(name, config digest)``, not the bare name:
+    if the registry entry behind a name ever changes (a test patching
+    :data:`repro.model.zoo.MODEL_CONFIGS`, two jobs in one batch
+    resolving the same name to different configs), the stale model is
+    simply not found and a fresh one is built — a shard worker can
+    never evaluate against a model constructed from a different config
+    than its job's key describes.
+    """
+
+    _models: dict[tuple[str, str], SyntheticVLM] = {}
+
+    @classmethod
+    def _key(cls, name: str) -> tuple[str, str]:
+        return (name, config_digest(get_model_config(name)))
 
     @classmethod
     def get(cls, name: str) -> SyntheticVLM:
-        if name not in cls._models:
-            cls._models[name] = SyntheticVLM(get_model_config(name))
-        return cls._models[name]
+        key = cls._key(name)
+        if key not in cls._models:
+            cls._models[key] = SyntheticVLM(get_model_config(name))
+        return cls._models[key]
 
 
 class QuantizedModelCache:
@@ -84,16 +99,19 @@ class QuantizedModelCache:
     Quantization is deterministic, so the quantized model is as
     cacheable as the FP16 original; it shares the original's
     :class:`~repro.model.spec.ModelConfig`, which keeps dense-MAC
-    accounting (and therefore sparsity) directly comparable.
+    accounting (and therefore sparsity) directly comparable.  Keyed on
+    ``(name, config digest)`` like :class:`ModelCache`, for the same
+    staleness guarantee.
     """
 
-    _models: dict[str, SyntheticVLM] = {}
+    _models: dict[tuple[str, str], SyntheticVLM] = {}
 
     @classmethod
     def get(cls, name: str) -> SyntheticVLM:
-        if name not in cls._models:
-            cls._models[name] = quantize_model(ModelCache.get(name))
-        return cls._models[name]
+        key = ModelCache._key(name)
+        if key not in cls._models:
+            cls._models[key] = quantize_model(ModelCache.get(name))
+        return cls._models[key]
 
 
 def evaluate_samples(
@@ -131,6 +149,39 @@ def evaluate_samples(
     return result
 
 
+def evaluate_span(
+    model_name: str,
+    dataset_name: str,
+    method: str,
+    span: tuple[int, int],
+    seed: int = 0,
+    config: FocusConfig = DEFAULT_CONFIG,
+    quantized: bool = False,
+) -> EvalResult:
+    """Evaluate sample indices ``[start, stop)`` of a cell.
+
+    Because dataset generation is prefix-stable (see
+    :func:`repro.workloads.datasets.make_dataset_span`), evaluating a
+    span in isolation produces exactly the per-sample records the
+    serial whole-cell loop would have produced at those indices — so
+    spans merged in global sample order by
+    :meth:`~repro.eval.metrics.EvalResult.merge` are bit-identical to
+    :func:`evaluate`, for any span partition.
+    """
+    start, stop = span
+    model = ModelCache.get(model_name)
+    samples = make_dataset_span(
+        dataset_name, model.config.layout, start, stop, seed=seed
+    )
+    if quantized:
+        model = QuantizedModelCache.get(model_name)
+    return evaluate_samples(
+        model, samples, method, config,
+        model_name=model_name, dataset_name=dataset_name,
+        quantized=quantized,
+    )
+
+
 def evaluate(
     model_name: str,
     dataset_name: str,
@@ -147,14 +198,7 @@ def evaluate(
     in the paper's tables.  ``quantized=True`` runs the INT8 arm on
     the same items (Table IV pairs FP16 and INT8 this way).
     """
-    model = ModelCache.get(model_name)
-    samples = make_dataset(
-        dataset_name, model.config.layout, num_samples, seed=seed
-    )
-    if quantized:
-        model = QuantizedModelCache.get(model_name)
-    return evaluate_samples(
-        model, samples, method, config,
-        model_name=model_name, dataset_name=dataset_name,
-        quantized=quantized,
+    return evaluate_span(
+        model_name, dataset_name, method, (0, num_samples), seed,
+        config=config, quantized=quantized,
     )

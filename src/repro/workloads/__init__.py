@@ -11,6 +11,7 @@ from repro.workloads.datasets import (
     Sample,
     get_profile,
     make_dataset,
+    make_dataset_span,
     make_sample,
 )
 
@@ -33,5 +34,6 @@ __all__ = [
     "Sample",
     "get_profile",
     "make_dataset",
+    "make_dataset_span",
     "make_sample",
 ]

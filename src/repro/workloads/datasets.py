@@ -167,6 +167,48 @@ def make_sample(
     )
 
 
+def make_dataset_span(
+    name: str,
+    layout: SubspaceLayout,
+    start: int,
+    stop: int,
+    seed: int = 0,
+    vocab_seed: int = 0,
+) -> list[Sample]:
+    """Generate items ``start .. stop`` of the named benchmark.
+
+    Generation is *prefix-stable*: sample ``i`` depends only on
+    ``(seed, dataset, i)`` — every stream is drawn from
+    :func:`repro.utils.rng.rng_for` keyed by the sample index, and the
+    codebooks derive from ``(layout, vocab_seed)`` alone — so the same
+    index yields a bit-identical sample no matter which span requests
+    it or how many samples the full dataset has.  Per-sample evaluation
+    shards rest on this: a span evaluated in isolation sees exactly the
+    items the serial whole-cell loop would have fed it.
+
+    Args:
+        name: One of the keys of :data:`ALL_PROFILES`.
+        layout: Hidden-dimension layout of the consuming model (the
+            same logical dataset is re-embedded per model, just as the
+            real benchmarks are re-tokenized per VLM).
+        start: First sample index (inclusive).
+        stop: Last sample index (exclusive).
+        seed: Experiment seed (varies scenes and questions).
+        vocab_seed: Codebook seed; must match the model's
+            ``vocab_seed`` (the shared "vocabulary").
+    """
+    if start < 0 or stop < start:
+        raise ValueError(
+            f"invalid sample span [{start}, {stop}): need 0 <= start <= stop"
+        )
+    profile = get_profile(name)
+    codebooks = Codebooks(layout, seed=vocab_seed)
+    return [
+        make_sample(profile, codebooks, seed, index)
+        for index in range(start, stop)
+    ]
+
+
 def make_dataset(
     name: str,
     layout: SubspaceLayout,
@@ -176,19 +218,9 @@ def make_dataset(
 ) -> list[Sample]:
     """Generate ``num_samples`` items of the named benchmark.
 
-    Args:
-        name: One of the keys of :data:`ALL_PROFILES`.
-        layout: Hidden-dimension layout of the consuming model (the
-            same logical dataset is re-embedded per model, just as the
-            real benchmarks are re-tokenized per VLM).
-        num_samples: Number of QA items.
-        seed: Experiment seed (varies scenes and questions).
-        vocab_seed: Codebook seed; must match the model's
-            ``vocab_seed`` (the shared "vocabulary").
+    Equivalent to :func:`make_dataset_span` over ``[0, num_samples)``;
+    see there for the prefix-stability guarantee and argument details.
     """
-    profile = get_profile(name)
-    codebooks = Codebooks(layout, seed=vocab_seed)
-    return [
-        make_sample(profile, codebooks, seed, index)
-        for index in range(num_samples)
-    ]
+    return make_dataset_span(
+        name, layout, 0, num_samples, seed=seed, vocab_seed=vocab_seed
+    )
