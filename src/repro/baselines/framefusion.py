@@ -22,6 +22,10 @@ from repro.model.vlm import TokenState
 class FrameFusionPlugin(InferencePlugin):
     """Similarity merge + importance prune at a fixed sparsity target."""
 
+    needs_attention_summary = True
+    """Importance pruning reads ``state.scratch["attn_received"]``; the
+    engine computes it lazily only for plugins that declare the need."""
+
     def __init__(
         self,
         model_config: ModelConfig,

@@ -36,6 +36,12 @@ Flags:
     larger ``--samples`` executes only each cell's new suffix spans.
     With ``--progress``, finished spans stream their cell's running
     accuracy/sparsity.
+``--matcher {wavefront,reference}``
+    Similarity-matcher implementation for every scheduled cell
+    (default: wavefront, the level-scheduled batched matcher).
+    ``reference`` re-runs on the retained row-at-a-time oracle — an
+    A/B debugging escape hatch; both produce bit-identical results,
+    only wall-clock differs.
 ``--cache-dir DIR``
     On-disk content-addressed result cache.  A warm re-run of any
     experiment performs zero new evaluations.
@@ -94,6 +100,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--eval-shards", type=int, default=None,
         help="samples per evaluation shard (default: whole cells; "
              "results are identical for any span size)",
+    )
+    parser.add_argument(
+        "--matcher", choices=("wavefront", "reference"), default=None,
+        help="similarity-matcher implementation (default: wavefront; "
+             "'reference' is the serial oracle for A/B debugging — "
+             "results are bit-identical, only wall-clock differs)",
     )
     parser.add_argument(
         "--cache-dir", default=None,
@@ -167,9 +179,10 @@ def run_experiment(
     samples: int | None = None,
     seed: int = 0,
     engine: ExperimentEngine | None = None,
+    matcher: str | None = None,
 ) -> str:
     """Run one experiment and return its formatted report."""
-    text, = run_experiments([name], samples, seed, engine).values()
+    text, = run_experiments([name], samples, seed, engine, matcher).values()
     return text
 
 
@@ -178,6 +191,7 @@ def run_experiments(
     samples: int | None = None,
     seed: int = 0,
     engine: ExperimentEngine | None = None,
+    matcher: str | None = None,
 ) -> dict[str, str]:
     """Run several experiments as one schedule; return formatted reports.
 
@@ -188,6 +202,8 @@ def run_experiments(
     params: dict = {"seed": seed}
     if samples is not None:
         params["num_samples"] = samples
+    if matcher is not None:
+        params["matcher"] = matcher
     results = registry.run_experiments(names, engine, **params)
     reports = {}
     for name, result in results.items():
@@ -233,7 +249,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     start = time.time()
     try:
-        reports = run_experiments(names, args.samples, args.seed, engine)
+        reports = run_experiments(
+            names, args.samples, args.seed, engine, args.matcher
+        )
     finally:
         engine.close()
     for name in names:

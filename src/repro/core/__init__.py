@@ -11,14 +11,22 @@ from repro.core.blocks import (
     linear_index,
     neighbor_offsets,
 )
-from repro.core.gather import GatherResult, SimilarityGather
+from repro.core.gather import GatherResult, SimilarityGather, TilePlan
 from repro.core.importance import (
     StreamingImportanceAnalyzer,
     importance_buffer_bytes,
     importance_scores,
 )
 from repro.core.layouter import BankAddress, ConvolutionLayouter
-from repro.core.matching import MatchOutcome, SimilarityMatcher
+from repro.core.matching import (
+    MATCHER_MODES,
+    LevelGroup,
+    MatchOutcome,
+    SimilarityMatcher,
+    build_level_groups,
+    level_schedule,
+    partner_levels,
+)
 from repro.core.offsets import (
     decode_offsets,
     encode_offsets,
@@ -49,13 +57,19 @@ __all__ = [
     "neighbor_offsets",
     "GatherResult",
     "SimilarityGather",
+    "TilePlan",
     "StreamingImportanceAnalyzer",
     "importance_buffer_bytes",
     "importance_scores",
     "BankAddress",
     "ConvolutionLayouter",
+    "MATCHER_MODES",
+    "LevelGroup",
     "MatchOutcome",
     "SimilarityMatcher",
+    "build_level_groups",
+    "level_schedule",
+    "partner_levels",
     "decode_offsets",
     "encode_offsets",
     "encoded_bits",

@@ -6,6 +6,16 @@ runs the streaming matcher within spatiotemporal comparison blocks.
 Matching never crosses a tile boundary — the property behind the
 Fig. 10(a) tile-size/latency trade-off — and text tokens (which have no
 FHW position) are always stored as unique.
+
+Hot-path layout: everything that depends only on the *token set* (tile
+spans, neighbor tables, wavefront dependency levels) is computed once
+per set and cached as a :class:`TilePlan` keyed on
+``(cache_token, tile)`` — the forward pass passes
+``TokenState.version`` as the token, so all gather sites (qkv /
+o_proj / fc1) of every layer between two semantic-pruning events share
+one plan.  Everything that depends on the *values* (padded k-blocks,
+L2 norms) is computed once per gather call and sliced per tile instead
+of being rebuilt inside the per-tile matcher.
 """
 
 from __future__ import annotations
@@ -17,15 +27,44 @@ import numpy as np
 
 from repro.config import FocusConfig
 from repro.core.blocks import build_neighbor_table, comparisons_in_table
-from repro.core.matching import SimilarityMatcher
+from repro.core.matching import (
+    LevelGroup,
+    SimilarityMatcher,
+    build_level_groups,
+)
+
+__all__ = [
+    "GatherResult",
+    "SimilarityGather",
+    "TABLE_CACHE_MAX_ENTRIES",
+    "TilePlan",
+    "comparisons_in_table",
+]
 
 TABLE_CACHE_MAX_ENTRIES = 64
-"""Upper bound on cached neighbor tables per gather engine.
+"""Upper bound on cached tile plans per gather engine.
 
-A forward pass needs at most ``ceil(tokens / m_tile)`` tables per
+A forward pass needs at most ``ceil(tokens / m_tile)`` plans per
 token set, so 64 comfortably covers every model in the zoo while
 keeping a long-lived gather (streaming service, benchmark loop) at
 bounded memory."""
+
+
+@dataclass
+class TilePlan:
+    """Token-set-dependent (value-independent) state of one m-tile.
+
+    Attributes:
+        table: ``(rows, n_offsets)`` local partner indices.
+        schedule: :func:`~repro.core.matching.build_level_groups` of
+            the table — the wavefront matcher's per-level index
+            structures, ready for batched matching.  ``None`` for a
+            reference-mode gather, which never reads them (keeping
+            the A/B arm's timings honest).
+    """
+
+    table: np.ndarray
+    schedule: tuple[LevelGroup, ...] | None
 
 
 @dataclass
@@ -75,15 +114,17 @@ class SimilarityGather:
 
         Args:
             config: Focus hyper-parameters (tile size, block shape,
-                vector length, threshold).
+                vector length, threshold, matcher implementation).
             token_wise: When ``True``, compare whole tokens instead of
                 sub-vectors (the "Ours token-wise" ablation of
                 Fig. 2(c)).
         """
         self.config = config
         self.token_wise = token_wise
-        self.matcher = SimilarityMatcher(config.similarity_threshold)
-        self._table_cache: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self.matcher = SimilarityMatcher(
+            config.similarity_threshold, mode=config.matcher
+        )
+        self._table_cache: OrderedDict[tuple, TilePlan] = OrderedDict()
         self._current_cache_token: object | None = None
 
     def _neighbor_table(
@@ -94,9 +135,22 @@ class SimilarityGather:
         tile: tuple[int, int],
         cache_token: object | None,
     ) -> np.ndarray:
-        """Partner table for the rows of one tile.
+        """Partner table for the rows of one tile (see :meth:`_tile_plan`)."""
+        return self._tile_plan(
+            positions, is_text, grid, tile, cache_token
+        ).table
 
-        Text rows receive no partners.  Tables are cached per
+    def _tile_plan(
+        self,
+        positions: np.ndarray,
+        is_text: np.ndarray,
+        grid: tuple[int, int, int],
+        tile: tuple[int, int],
+        cache_token: object | None,
+    ) -> TilePlan:
+        """Partner table + wavefront levels for the rows of one tile.
+
+        Text rows receive no partners.  Plans are cached per
         ``(cache_token, tile)`` because the token set only changes at
         semantic-pruning layers.  The cache is bounded: entries from
         stale cache tokens are evicted when a new token arrives (token
@@ -125,6 +179,11 @@ class SimilarityGather:
             remap = image_local  # local-image index -> tile-row index
             expanded = np.where(image_table >= 0, remap[image_table], -1)
             table[image_local, : expanded.shape[1]] = expanded
+        schedule = (
+            build_level_groups(table)
+            if self.matcher.mode == "wavefront" else None
+        )
+        plan = TilePlan(table=table, schedule=schedule)
 
         if cache_token is not None:
             if cache_token != self._current_cache_token:
@@ -134,10 +193,10 @@ class SimilarityGather:
                 for k in stale:
                     del self._table_cache[k]
                 self._current_cache_token = cache_token
-            self._table_cache[key] = table
+            self._table_cache[key] = plan
             while len(self._table_cache) > TABLE_CACHE_MAX_ENTRIES:
                 self._table_cache.popitem(last=False)
-        return table
+        return plan
 
     def _block(self) -> tuple[int, int, int]:
         cfg = self.config
@@ -163,7 +222,8 @@ class SimilarityGather:
             is_text: Text mask.
             grid: Full FHW grid of the video.
             cache_token: Hashable key identifying the current token
-                set; enables neighbor-table reuse across gather sites.
+                set; enables tile-plan (neighbor table + wavefront
+                level) reuse across gather sites.
 
         Returns:
             A :class:`GatherResult`; ``x_approx`` is bit-identical to
@@ -172,9 +232,21 @@ class SimilarityGather:
         """
         x = np.asarray(x, dtype=np.float32)
         num_rows, k = x.shape
+        # Coverage is validated once here, not per tile: every tile
+        # slices these same arrays.
+        positions = np.asarray(positions)
+        is_text = np.asarray(is_text, dtype=bool)
+        if positions.shape[:1] != (num_rows,) or is_text.shape != (num_rows,):
+            raise ValueError(
+                "positions and is_text must cover every row of x"
+            )
         vector_size = k if self.token_wise else min(self.config.vector_size, k)
         blocks = self.matcher.split_blocks(x, vector_size)
         num_blocks = blocks.shape[1]
+        # L2 norms once for the whole matrix; per-tile slices are
+        # bit-identical to per-tile recomputation (the norm reduces
+        # over the contiguous v axis row by row).
+        norms = np.linalg.norm(blocks, axis=2)
 
         reps_global = np.tile(
             np.arange(num_rows, dtype=np.int64), (num_blocks, 1)
@@ -185,10 +257,13 @@ class SimilarityGather:
         m_tile = self.config.m_tile
         for start in range(0, num_rows, m_tile):
             stop = min(start + m_tile, num_rows)
-            table = self._neighbor_table(
+            plan = self._tile_plan(
                 positions, is_text, grid, (start, stop), cache_token
             )
-            outcome = self.matcher.match_tile(blocks[start:stop], table)
+            outcome = self.matcher.match_tile(
+                blocks[start:stop], plan.table,
+                norms=norms[start:stop], schedule=plan.schedule,
+            )
             reps_global[:, start:stop] = outcome.reps + start
             counts = outcome.unique_counts()
             tile_lengths.extend(int(c) for c in counts)
@@ -201,11 +276,10 @@ class SimilarityGather:
             1, int(np.ceil(np.log2(max(2, min(m_tile, num_rows)))))
         )
 
-        x_approx = np.empty_like(x)
-        for b in range(num_blocks):
-            col0 = b * vector_size
-            col1 = min(col0 + vector_size, k)
-            x_approx[:, col0:col1] = x[reps_global[b], col0:col1]
+        # One fancy-indexed scatter assembles x_approx: column c takes
+        # its value from row reps_global[block(c), :].
+        col_block = np.repeat(np.arange(num_blocks), vector_size)[:k]
+        x_approx = x[reps_global[col_block, :].T, np.arange(k)[None, :]]
 
         return GatherResult(
             x_approx=x_approx,

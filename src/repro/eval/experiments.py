@@ -32,7 +32,7 @@ from repro.accel.scaling import PAPER_IMAGE_TOKENS, PAPER_TEXT_TOKENS, scale_to_
 from repro.accel.simulator import SimResult, simulate_many
 from repro.accel.systolic import tile_utilization
 from repro.baselines.gpu import JETSON_ORIN_NANO, simulate_gpu
-from repro.config import DEFAULT_CONFIG
+from repro.config import DEFAULT_CONFIG, FocusConfig
 from repro.engine.jobs import EvalJob
 from repro.engine.registry import ExperimentPlan, register, run_plan
 from repro.engine.scheduler import ExperimentEngine
@@ -44,6 +44,23 @@ IMAGE_DATASETS = ("vqav2", "mme", "mmbench")
 TABLE2_METHODS = ("dense", "framefusion", "adaptiv", "cmc", "focus")
 
 Results = Mapping[EvalJob, Any]
+
+
+def _base_config(
+    matcher: str | None = None, **overrides: object
+) -> FocusConfig:
+    """Per-experiment :class:`FocusConfig` derived from the default.
+
+    ``matcher`` is the CLI-level A/B escape hatch (``--matcher``):
+    ``None`` keeps the config default (wavefront), ``"reference"``
+    re-runs the experiment on the retained serial matcher.  Every plan
+    factory accepts it so one flag switches an entire schedule.
+    """
+    if matcher is not None:
+        overrides["matcher"] = matcher
+    if not overrides:
+        return DEFAULT_CONFIG
+    return DEFAULT_CONFIG.with_overrides(**overrides)
 
 
 def _paper_scale_sim(
@@ -106,11 +123,13 @@ def plan_table2(
     methods: tuple[str, ...] = TABLE2_METHODS,
     num_samples: int = 8,
     seed: int = 0,
+    matcher: str | None = None,
 ) -> ExperimentPlan:
     """Reproduce Table II: accuracy and sparsity of all methods."""
     jobs = tuple(
         EvalJob(model=model, dataset=dataset, method=method,
-                num_samples=num_samples, seed=seed)
+                num_samples=num_samples, seed=seed,
+                config=_base_config(matcher))
         for model in models
         for dataset in datasets
         for method in methods
@@ -156,7 +175,9 @@ _TABLE3_ARCHS = (
 
 
 @register("table3", "architecture config comparison (Table III)")
-def plan_table3(num_samples: int = 2, seed: int = 0) -> ExperimentPlan:
+def plan_table3(
+    num_samples: int = 2, seed: int = 0, matcher: str | None = None
+) -> ExperimentPlan:
     """Reproduce Table III: per-architecture config, area and power.
 
     Power is measured on the Llava-Video / VideoMME workload, as in the
@@ -164,7 +185,8 @@ def plan_table3(num_samples: int = 2, seed: int = 0) -> ExperimentPlan:
     """
     jobs = {
         method: EvalJob(model="llava-video", dataset="videomme",
-                        method=method, num_samples=num_samples, seed=seed)
+                        method=method, num_samples=num_samples, seed=seed,
+                        config=_base_config(matcher))
         for _, method in _TABLE3_ARCHS
     }
 
@@ -212,6 +234,7 @@ def plan_table4(
     datasets: tuple[str, ...] = VIDEO_DATASETS,
     num_samples: int = 8,
     seed: int = 0,
+    matcher: str | None = None,
 ) -> ExperimentPlan:
     """Reproduce Table IV: INT8 impact on accuracy and sparsity.
 
@@ -226,6 +249,7 @@ def plan_table4(
         (model, dataset, method, quant): EvalJob(
             model=model, dataset=dataset, method=method,
             num_samples=num_samples, seed=seed, quantized=quant,
+            config=_base_config(matcher),
         )
         for model in models
         for dataset in datasets
@@ -278,6 +302,7 @@ def plan_table5(
     datasets: tuple[str, ...] = IMAGE_DATASETS,
     num_samples: int = 8,
     seed: int = 0,
+    matcher: str | None = None,
 ) -> ExperimentPlan:
     """Reproduce Table V: single-image VLMs (one-frame videos)."""
     target_tokens = PAPER_IMAGE_TOKENS + PAPER_TEXT_TOKENS
@@ -286,6 +311,7 @@ def plan_table5(
         (model, dataset, method): EvalJob(
             model=model, dataset=dataset, method=method,
             num_samples=num_samples, seed=seed,
+            config=_base_config(matcher),
         )
         for model in models
         for dataset in datasets
@@ -346,6 +372,7 @@ def plan_fig2b(
     vector_sizes: tuple[int, ...] = (8, 16, 32, 64, 96, 192),
     num_samples: int = 3,
     seed: int = 0,
+    matcher: str | None = None,
 ) -> ExperimentPlan:
     """Reproduce Fig. 2(b): finer vectors expose more redundancy.
 
@@ -357,6 +384,7 @@ def plan_fig2b(
     job = EvalJob(
         model=model_name, dataset=dataset, method="similarity-capture",
         num_samples=num_samples, seed=seed, kind="fig2b",
+        config=_base_config(matcher),
         extra=(("vector_sizes", tuple(vector_sizes)),
                ("threshold", threshold)),
         provider="repro.eval.similarity_stats",
@@ -392,12 +420,14 @@ def plan_fig2c(
     dataset: str = "videomme",
     num_samples: int = 8,
     seed: int = 0,
+    matcher: str | None = None,
 ) -> ExperimentPlan:
     """Reproduce Fig. 2(c): vector-wise beats token-wise and baselines."""
     methods = ("dense", "cmc", "adaptiv", "focus-token", "focus")
     jobs = tuple(
         EvalJob(model=model, dataset=dataset, method=method,
-                num_samples=num_samples, seed=seed)
+                num_samples=num_samples, seed=seed,
+                config=_base_config(matcher))
         for method in methods
     )
 
@@ -448,6 +478,7 @@ def plan_fig9(
     datasets: tuple[str, ...] = VIDEO_DATASETS,
     num_samples: int = 4,
     seed: int = 0,
+    matcher: str | None = None,
 ) -> ExperimentPlan:
     """Reproduce Fig. 9: speedup and energy vs all baselines."""
     methods = ("dense", "framefusion", "adaptiv", "cmc", "focus")
@@ -455,6 +486,7 @@ def plan_fig9(
         (model, dataset, method): EvalJob(
             model=model, dataset=dataset, method=method,
             num_samples=num_samples, seed=seed,
+            config=_base_config(matcher),
         )
         for model in models
         for dataset in datasets
@@ -463,7 +495,8 @@ def plan_fig9(
     # The power-breakdown workload; usually a duplicate of a grid job,
     # which the engine's dedupe collapses for free.
     power_job = EvalJob(model="llava-video", dataset="videomme",
-                        method="focus", num_samples=num_samples, seed=seed)
+                        method="focus", num_samples=num_samples, seed=seed,
+                        config=_base_config(matcher))
 
     def assemble(
         results: Results, engine: ExperimentEngine | None = None
@@ -580,6 +613,7 @@ def plan_fig10a(
     dataset: str = "videomme",
     num_samples: int = 4,
     seed: int = 0,
+    matcher: str | None = None,
 ) -> ExperimentPlan:
     """Fig. 10(a): GEMM m-tile size vs latency and buffer demand.
 
@@ -591,7 +625,7 @@ def plan_fig10a(
     jobs = {}
     for m_tile in m_tiles:
         effective = m_tile if m_tile > 0 else 1 << 20
-        config = DEFAULT_CONFIG.with_overrides(m_tile=effective)
+        config = _base_config(matcher, m_tile=effective)
         jobs[m_tile] = EvalJob(
             model=model, dataset=dataset, method="focus",
             num_samples=num_samples, seed=seed, config=config,
@@ -632,13 +666,14 @@ def plan_fig10b(
     dataset: str = "videomme",
     num_samples: int = 4,
     seed: int = 0,
+    matcher: str | None = None,
 ) -> ExperimentPlan:
     """Fig. 10(b): vector size vs array MACs and accumulator ops."""
     jobs = {
         v: EvalJob(
             model=model, dataset=dataset, method="focus",
             num_samples=num_samples, seed=seed,
-            config=DEFAULT_CONFIG.with_overrides(vector_size=v, n_tile=v),
+            config=_base_config(matcher, vector_size=v, n_tile=v),
         )
         for v in vector_sizes
     }
@@ -673,14 +708,15 @@ def plan_fig10c(
     dataset: str = "videomme",
     num_samples: int = 4,
     seed: int = 0,
+    matcher: str | None = None,
 ) -> ExperimentPlan:
     """Fig. 10(c): SIC block size (f, h, w) vs latency."""
     jobs = {
         (bf, bh, bw): EvalJob(
             model=model, dataset=dataset, method="focus",
             num_samples=num_samples, seed=seed,
-            config=DEFAULT_CONFIG.with_overrides(
-                block_frames=bf, block_height=bh, block_width=bw
+            config=_base_config(
+                matcher, block_frames=bf, block_height=bh, block_width=bw
             ),
         )
         for bf, bh, bw in blocks
@@ -719,6 +755,7 @@ def plan_fig10d(
     dataset: str = "videomme",
     num_samples: int = 4,
     seed: int = 0,
+    matcher: str | None = None,
 ) -> ExperimentPlan:
     """Fig. 10(d): scatter accumulator count vs latency.
 
@@ -727,7 +764,8 @@ def plan_fig10d(
     assemble-side simulations.
     """
     job = EvalJob(model=model, dataset=dataset, method="focus",
-                  num_samples=num_samples, seed=seed)
+                  num_samples=num_samples, seed=seed,
+                  config=_base_config(matcher))
 
     def assemble(
         results: Results, engine: ExperimentEngine | None = None
@@ -776,12 +814,14 @@ def plan_fig11(
     dataset: str = "videomme",
     num_samples: int = 4,
     seed: int = 0,
+    matcher: str | None = None,
 ) -> ExperimentPlan:
     """Reproduce Fig. 11: SEC-only and SEC+SIC vs SA and CMC."""
     methods = ("dense", "cmc", "focus-sec", "focus")
     jobs = {
         method: EvalJob(model=model, dataset=dataset, method=method,
-                        num_samples=num_samples, seed=seed)
+                        num_samples=num_samples, seed=seed,
+                        config=_base_config(matcher))
         for method in methods
     }
 
@@ -840,12 +880,14 @@ def plan_fig12(
     dataset: str = "videomme",
     num_samples: int = 4,
     seed: int = 0,
+    matcher: str | None = None,
 ) -> ExperimentPlan:
     """Reproduce Fig. 12: DRAM access and activation size ratios."""
     jobs = {
         (model, method): EvalJob(
             model=model, dataset=dataset, method=method,
             num_samples=num_samples, seed=seed,
+            config=_base_config(matcher),
         )
         for model in models
         for method, _ in _FIG12_METHODS
@@ -910,6 +952,7 @@ def plan_fig13(
     seed: int = 0,
     bins: int = 24,
     paper_tile_rows: int = 1024,
+    matcher: str | None = None,
 ) -> ExperimentPlan:
     """Reproduce Fig. 13: tile-length histogram and array utilization.
 
@@ -919,7 +962,8 @@ def plan_fig13(
     the paper plots.
     """
     job = EvalJob(model=model, dataset=dataset, method="focus",
-                  num_samples=num_samples, seed=seed)
+                  num_samples=num_samples, seed=seed,
+                  config=_base_config(matcher))
 
     def assemble(results: Results) -> Fig13Result:
         merged = results[job].merged_trace

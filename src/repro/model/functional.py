@@ -7,15 +7,24 @@ the systolic array, and softmax / RMSNorm on the special function unit
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 
 
 def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
-    """Numerically stable softmax along ``axis``."""
+    """Numerically stable softmax along ``axis``.
+
+    The exponential and the normalizing division run in place on the
+    shifted copy (never on the caller's array), halving the temporary
+    allocations on the attention hot path without changing a bit of
+    the result.
+    """
     x = np.asarray(x, dtype=np.float32)
     shifted = x - np.max(x, axis=axis, keepdims=True)
-    exp = np.exp(shifted)
-    return exp / np.sum(exp, axis=axis, keepdims=True)
+    np.exp(shifted, out=shifted)
+    shifted /= np.sum(shifted, axis=axis, keepdims=True)
+    return shifted
 
 
 def rms_norm(x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
@@ -37,11 +46,26 @@ def gelu(x: np.ndarray) -> np.ndarray:
     return 0.5 * x * (1.0 + np.tanh(inner))
 
 
+MASK_CACHE_MAX_ENTRIES = 32
+"""LRU bound on memoized causal masks.  Each entry is ``s^2`` float32;
+token counts repeat heavily within a forward pass (every layer between
+two pruning events sees the same count) and across samples of one
+dataset, so a small cap captures nearly all reuse at bounded memory."""
+
+
+@functools.lru_cache(maxsize=MASK_CACHE_MAX_ENTRIES)
 def causal_mask(num_tokens: int) -> np.ndarray:
-    """Additive causal mask: 0 on/below the diagonal, -inf above."""
+    """Additive causal mask: 0 on/below the diagonal, -inf above.
+
+    Masks are memoized per token count (the forward pass requests the
+    same sizes at every layer) and returned *read-only* so a cached
+    array can never be corrupted in place; add it, don't mutate it.
+    """
+    num_tokens = int(num_tokens)
     mask = np.zeros((num_tokens, num_tokens), dtype=np.float32)
     upper = np.triu_indices(num_tokens, k=1)
     mask[upper] = -np.inf
+    mask.flags.writeable = False
     return mask
 
 

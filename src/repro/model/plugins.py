@@ -59,6 +59,14 @@ class DedupStats:
 class InferencePlugin:
     """Base plugin: all hooks are no-ops (dense execution)."""
 
+    needs_attention_summary: bool = False
+    """Whether the engine should compute the per-key attention summary
+    (``state.scratch["attn_received"]``, mean attention received over
+    heads and queries) at every layer.  Importance-style plugins
+    (FrameFusion) set this; computing the summary lazily keeps an
+    O(heads x s^2) reduction off every other method's hot path.
+    Wrapper plugins must delegate it to the plugin they wrap."""
+
     def begin(self, state: "TokenState") -> None:
         """Called once before the first layer."""
 

@@ -182,14 +182,25 @@ class SyntheticVLM:
         q_h = q.reshape(s, heads, head_dim).transpose(1, 0, 2)
         k_h = k.reshape(s, heads, head_dim).transpose(1, 0, 2)
         v_h = v.reshape(s, heads, head_dim).transpose(1, 0, 2)
-        scores = (q_h @ k_h.transpose(0, 2, 1)) / np.sqrt(head_dim)
-        scores = scores + causal_mask(s)[None, :, :]
+        # The float32 scale keeps the attention path in float32 end to
+        # end: a bare np.sqrt(python int) is a float64 scalar and would
+        # silently promote every score matrix.  Scale and mask apply in
+        # place on the fresh matmul output (the memoized mask is only
+        # read).
+        scores = q_h @ k_h.transpose(0, 2, 1)
+        scores /= np.float32(np.sqrt(head_dim))
+        scores += causal_mask(s)[None, :, :]
+        assert scores.dtype == np.float32, (
+            f"attention scores promoted to {scores.dtype}"
+        )
         state.trace.add(GemmTrace(name="qk", layer=layer_index, m=s, k=d, n=s))
         probs = softmax(scores, axis=-1)
 
-        # Attention received per key, averaged over heads and queries;
-        # used by importance-style baselines (FrameFusion).
-        state.scratch["attn_received"] = probs.mean(axis=(0, 1))
+        if plugin.needs_attention_summary:
+            # Attention received per key, averaged over heads and
+            # queries; computed only for plugins that declare the need
+            # (importance-style baselines such as FrameFusion).
+            state.scratch["attn_received"] = probs.mean(axis=(0, 1))
 
         keep = plugin.after_attention_probs(layer_index, probs, state)
         if keep is not None:

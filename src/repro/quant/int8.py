@@ -70,6 +70,12 @@ class Int8ActivationPlugin(InferencePlugin):
     def __init__(self, inner: InferencePlugin | None = None) -> None:
         self.inner = inner or InferencePlugin()
 
+    @property
+    def needs_attention_summary(self) -> bool:  # type: ignore[override]
+        """Delegated: the wrapped plugin decides whether the engine
+        must compute per-key attention summaries."""
+        return self.inner.needs_attention_summary
+
     def begin(self, state: TokenState) -> None:
         self.inner.begin(state)
 
