@@ -1,0 +1,169 @@
+"""Serving benchmark: time-to-first-event and SSE fan-out throughput.
+
+Two measurements, written to ``BENCH_serve.json``:
+
+* ``time_to_first_event_s`` — POST a real registry run and measure
+  from the POST to the first SSE frame on ``/runs/{id}/events``
+  (the latency a live dashboard sees).
+* ``fanout`` — replay a synthetic run of ``FANOUT_EVENTS`` encoded
+  progress events to 8 concurrent JSON-lines subscribers and report
+  aggregate delivered events/sec (ring-buffer replay + HTTP framing,
+  isolated from engine cost).
+
+Both are gated loosely (serving must stay interactive) — the JSON is
+the trajectory record, the gate only catches collapse.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+from conftest import bench_samples
+
+from repro.engine import ExperimentEngine
+from repro.engine.jobs import EvalJob
+from repro.engine.scheduler import ProgressEvent
+from repro.serve import AsyncExperimentEngine, events as codec
+from repro.serve.server import Run, RunLog, ServeApp
+
+SUBSCRIBERS = 8
+FANOUT_EVENTS = 2000
+MAX_FIRST_EVENT_S = 5.0
+MIN_EVENTS_PER_SEC = 1000.0
+
+
+async def _start(app: ServeApp):
+    await app.engine.warm_up()
+    server = await asyncio.start_server(
+        app.handle_client, "127.0.0.1", 0
+    )
+    return server, server.sockets[0].getsockname()[1]
+
+
+async def _request(port, method, path, body=None):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    payload = json.dumps(body).encode() if body is not None else b""
+    head = f"{method} {path} HTTP/1.1\r\nHost: bench\r\n"
+    if payload:
+        head += f"Content-Length: {len(payload)}\r\n"
+    writer.write((head + "\r\n").encode() + payload)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    return raw
+
+
+async def _time_to_first_event(app: ServeApp, port: int) -> float:
+    start = time.perf_counter()
+    raw = await _request(
+        port, "POST", "/runs",
+        {"experiments": ["fig13"], "samples": bench_samples(2)},
+    )
+    run = json.loads(raw.partition(b"\r\n\r\n")[2])
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(
+        f"GET /runs/{run['run_id']}/events?format=jsonl HTTP/1.1\r\n"
+        "Host: bench\r\n\r\n".encode()
+    )
+    await writer.drain()
+    buffered = b""
+    while b"\n" not in buffered.partition(b"\r\n\r\n")[2]:
+        chunk = await reader.read(4096)
+        assert chunk, "stream ended before the first event"
+        buffered += chunk
+    first_event_s = time.perf_counter() - start
+    await reader.read()  # drain to the terminal event
+    writer.close()
+    return first_event_s
+
+
+async def _synthetic_run(events: int) -> Run:
+    """A finished run whose log replays ``events`` encoded progress
+    events — isolates fan-out cost from engine cost."""
+    log = RunLog(capacity=events + 2)
+    run = Run(
+        run_id="bench-fanout", experiments=["synthetic"], params={},
+        log=log, handle=None, status="done",
+    )
+    job = EvalJob(
+        model="llava-video", dataset="videomme", method="focus",
+        num_samples=8, seed=0,
+    )
+    await log.append(
+        codec.encode_run_started(run.run_id, ["synthetic"], {})
+    )
+    for i in range(events):
+        await log.append(codec.encode_progress(ProgressEvent(
+            action="completed", job=job, completed=i + 1,
+            total=events, elapsed_s=0.0, seq=i + 1,
+        )))
+    await log.append(codec.encode_run_done(run.run_id, {}, 0.0))
+    return run
+
+
+async def _fanout(app: ServeApp, port: int) -> dict:
+    run = await _synthetic_run(FANOUT_EVENTS)
+    app.runs[run.run_id] = run
+
+    async def subscribe():
+        raw = await _request(
+            port, "GET", f"/runs/{run.run_id}/events?format=jsonl"
+        )
+        lines = raw.partition(b"\r\n\r\n")[2].decode().splitlines()
+        events = [codec.parse_event(line) for line in lines]
+        assert len(events) == FANOUT_EVENTS + 2
+        assert events[-1]["event"] == "run-done"
+        return len(events)
+
+    start = time.perf_counter()
+    counts = await asyncio.gather(
+        *(subscribe() for _ in range(SUBSCRIBERS))
+    )
+    wall_s = time.perf_counter() - start
+    delivered = sum(counts)
+    return {
+        "subscribers": SUBSCRIBERS,
+        "events_per_subscriber": FANOUT_EVENTS + 2,
+        "delivered_events": delivered,
+        "wall_s": wall_s,
+        "events_per_sec": delivered / wall_s,
+    }
+
+
+def test_serve_benchmark(results_dir, capsys):
+    async def scenario():
+        app = ServeApp(AsyncExperimentEngine(ExperimentEngine()))
+        server, port = await _start(app)
+        try:
+            first_event_s = await _time_to_first_event(app, port)
+            fanout = await _fanout(app, port)
+        finally:
+            server.close()
+            await server.wait_closed()
+            await app.shutdown()
+        return first_event_s, fanout
+
+    first_event_s, fanout = asyncio.run(scenario())
+
+    payload = {
+        "time_to_first_event_s": first_event_s,
+        "fanout": fanout,
+        "gate": {
+            "max_time_to_first_event_s": MAX_FIRST_EVENT_S,
+            "min_events_per_sec": MIN_EVENTS_PER_SEC,
+        },
+    }
+    (results_dir / "BENCH_serve.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    with capsys.disabled():
+        print(
+            f"\n[serve] first event in {first_event_s * 1e3:.0f} ms; "
+            f"fan-out {fanout['events_per_sec']:.0f} events/s "
+            f"to {SUBSCRIBERS} subscribers\n"
+        )
+
+    assert first_event_s <= MAX_FIRST_EVENT_S
+    assert fanout["events_per_sec"] >= MIN_EVENTS_PER_SEC

@@ -5,6 +5,10 @@ sample, and compares dense inference against Focus (SEC + SIC):
 same answer, ~80% fewer operations.
 
 Run:  python examples/quickstart.py
+
+See also ``examples/streaming_progress.py`` for the serving-side view:
+the same evaluations driven through the async engine with a live
+per-cell accuracy/sparsity ticker streamed from progress events.
 """
 
 from repro import FocusConfig, FocusPlugin

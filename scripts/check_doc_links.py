@@ -1,0 +1,68 @@
+"""Fail on dead relative links in Markdown files.
+
+Usage::
+
+    python scripts/check_doc_links.py README.md src/repro/engine/ARCHITECTURE.md
+
+Checks every ``[text](target)`` link whose target is a relative path:
+the path (resolved against the Markdown file's directory) must exist.
+External schemes (``http:``, ``https:``, ``mailto:``) and pure
+in-page anchors (``#...``) are skipped; a ``path#anchor`` target is
+checked for the path only.  Exit code 1 lists every dead link.
+
+CI runs this over the README and the architecture note so the docs
+can never silently point at files a refactor moved or deleted.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def dead_links(markdown: Path) -> list[tuple[int, str]]:
+    """``(line_number, target)`` for every broken relative link."""
+    broken = []
+    for lineno, line in enumerate(
+        markdown.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        for target in LINK.findall(line):
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            if not (markdown.parent / path).exists():
+                broken.append((lineno, target))
+    return broken
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_doc_links.py FILE.md [FILE.md ...]",
+              file=sys.stderr)
+        return 2
+    failures = 0
+    for name in argv:
+        markdown = Path(name)
+        if not markdown.exists():
+            print(f"{name}: file not found", file=sys.stderr)
+            failures += 1
+            continue
+        for lineno, target in dead_links(markdown):
+            print(f"{name}:{lineno}: dead link -> {target}",
+                  file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"{failures} dead link(s)", file=sys.stderr)
+        return 1
+    print(f"all relative links resolve in {len(argv)} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

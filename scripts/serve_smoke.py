@@ -1,0 +1,127 @@
+"""CI smoke client: drive one run over SSE and check offline parity.
+
+Usage::
+
+    PYTHONPATH=src python scripts/serve_smoke.py http://127.0.0.1:8377 fig13 1
+
+Against an already-running ``repro serve`` instance this:
+
+1. waits for ``/healthz``;
+2. ``POST /runs`` launches the given experiment;
+3. consumes ``GET /runs/{id}/events`` as SSE with the stdlib client,
+   dropping the connection after a few events and resuming with
+   ``Last-Event-ID`` — asserting the stitched stream has contiguous
+   ids and ends in ``run-done``;
+4. fetches ``GET /runs/{id}/result`` and asserts the report is
+   byte-identical to an in-process offline run of the same spec, and
+   matches the digest carried by the terminal event.
+
+Stdlib + the repo only (the offline arm imports ``repro.cli``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+from repro.serve import events as codec
+
+
+def wait_healthy(base: str, timeout_s: float = 60.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    while True:
+        try:
+            with urllib.request.urlopen(f"{base}/healthz", timeout=2) as r:
+                if json.load(r).get("ok"):
+                    return
+        except (urllib.error.URLError, OSError):
+            pass
+        if time.monotonic() > deadline:
+            raise SystemExit(f"server at {base} never became healthy")
+        time.sleep(0.25)
+
+
+def read_sse(
+    base: str, run_id: str, last_id: int = 0, max_events: int | None = None
+) -> list[dict]:
+    """Stream SSE frames, optionally dropping after ``max_events``."""
+    request = urllib.request.Request(
+        f"{base}/runs/{run_id}/events",
+        headers={"Last-Event-ID": str(last_id)} if last_id else {},
+    )
+    events: list[dict] = []
+    with urllib.request.urlopen(request, timeout=120) as response:
+        assert response.headers.get_content_type() == "text/event-stream", (
+            response.headers.get_content_type()
+        )
+        for raw in response:
+            line = raw.decode("utf-8").rstrip("\n")
+            if line.startswith("data:"):
+                events.append(codec.parse_event(line[5:].lstrip()))
+                if max_events is not None and len(events) >= max_events:
+                    return events  # drop the connection mid-stream
+            if events and codec.is_terminal(events[-1]):
+                return events
+    return events
+
+
+def main() -> int:
+    base = sys.argv[1].rstrip("/")
+    experiment = sys.argv[2] if len(sys.argv) > 2 else "fig13"
+    samples = int(sys.argv[3]) if len(sys.argv) > 3 else 1
+
+    wait_healthy(base)
+    body = json.dumps(
+        {"experiments": [experiment], "samples": samples, "seed": 0}
+    ).encode()
+    request = urllib.request.Request(
+        f"{base}/runs", data=body, method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        run = json.load(response)
+    run_id = run["run_id"]
+    print(f"launched {experiment} as run {run_id}")
+
+    # Read a few events, drop the connection, resume by Last-Event-ID.
+    head = read_sse(base, run_id, max_events=2)
+    tail = read_sse(base, run_id, last_id=head[-1]["id"])
+    stream = head + tail
+    ids = [event["id"] for event in stream]
+    assert ids == list(range(1, len(stream) + 1)), (
+        f"resume lost or duplicated events: {ids}"
+    )
+    terminal = stream[-1]
+    assert terminal["event"] == "run-done", terminal
+    assert stream[0]["event"] == "run-started"
+    actions = [e.get("action") for e in stream if e["event"] == "progress"]
+    print(f"streamed {len(stream)} events "
+          f"({len(head)} before the drop, resume lossless); "
+          f"actions: {sorted(set(actions))}")
+
+    with urllib.request.urlopen(
+        f"{base}/runs/{run_id}/result", timeout=30
+    ) as response:
+        result = json.load(response)
+    served = result["experiments"][experiment]
+
+    from repro.cli import run_experiments
+
+    offline = run_experiments([experiment], samples=samples, seed=0)
+    assert served == offline[experiment], (
+        "served report differs from the offline run:\n"
+        f"--- served ---\n{served}\n--- offline ---\n{offline[experiment]}"
+    )
+    assert terminal["reports"][experiment]["sha256"] == (
+        codec.report_digest(offline[experiment])
+    ), "terminal event digest does not match the offline report"
+    print("terminal event digest and served result match the offline "
+          "run byte-for-byte")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,6 +8,7 @@ Usage::
     python -m repro.cli fig9 --samples 4 --workers 4
     python -m repro.cli table2 fig9 --samples 4      # shared cells run once
     python -m repro.cli all --cache-dir ~/.cache/repro-focus
+    python -m repro.cli serve --port 8377 --workers 4 --eval-shards 1
 
 Experiments come from the declarative registry
 (:mod:`repro.engine.registry`); requesting several at once collects
@@ -52,6 +53,21 @@ Flags:
     Disable result caching (memory and disk) entirely.
 ``--progress``
     Stream per-job progress lines to stderr.
+``--progress-jsonl PATH``
+    Stream progress as canonical JSON-lines events (the same codec the
+    serving frontend speaks — :mod:`repro.serve.events`) to ``PATH``,
+    or to stderr with ``-``.  The stream ends with a terminal
+    ``run-done`` event carrying per-report content digests, so offline
+    and served runs of one spec are byte-comparable.
+
+``serve`` subcommand
+    ``python -m repro.cli serve`` starts the asyncio HTTP frontend
+    (:mod:`repro.serve.server`): ``POST /runs`` launches any registry
+    spec, ``GET /runs/{id}/events`` streams progress as Server-Sent
+    Events or JSON lines with ``Last-Event-ID`` resume, and
+    ``GET /runs/{id}/result`` returns the assembled reports.  Serve
+    flags: ``--host/--port/--workers/--sim-shards/--eval-shards/
+    --cache-dir/--cache-max-mb/--no-cache/--ring-size``.
 """
 
 from __future__ import annotations
@@ -123,6 +139,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true",
         help="stream per-job progress to stderr",
     )
+    parser.add_argument(
+        "--progress-jsonl", default=None, metavar="PATH",
+        help="stream progress as JSON-lines events (the serving "
+             "frontend's codec) to PATH, or stderr with '-'",
+    )
     return parser
 
 
@@ -147,6 +168,17 @@ def _print_progress(event: ProgressEvent) -> None:
     )
 
 
+def _jsonl_progress(stream) -> "ProgressCallback":
+    """Progress callback writing canonical codec events as JSON lines."""
+    from repro.serve import events as codec
+
+    def write(event: ProgressEvent) -> None:
+        stream.write(codec.to_json(codec.encode_progress(event)) + "\n")
+        stream.flush()
+
+    return write
+
+
 def make_engine(
     workers: int = 1,
     cache_dir: str | None = None,
@@ -155,8 +187,15 @@ def make_engine(
     sim_shards: int | None = None,
     cache_max_mb: float | None = None,
     eval_shards: int | None = None,
+    progress_jsonl=None,
 ) -> ExperimentEngine:
-    """Build an engine from CLI-style options."""
+    """Build an engine from CLI-style options.
+
+    ``progress_jsonl`` is an open text stream; when given, every
+    progress event is also written to it as one canonical JSON line
+    (:mod:`repro.serve.events`) — the same wire format the serving
+    frontend streams, so offline and served runs are comparable.
+    """
     max_disk_bytes = (
         int(cache_max_mb * 1e6) if cache_max_mb is not None else None
     )
@@ -165,10 +204,23 @@ def make_engine(
         enabled=not no_cache,
         max_disk_bytes=max_disk_bytes,
     )
+    callbacks = []
+    if progress:
+        callbacks.append(_print_progress)
+    if progress_jsonl is not None:
+        callbacks.append(_jsonl_progress(progress_jsonl))
+    if not callbacks:
+        callback = None
+    elif len(callbacks) == 1:
+        callback, = callbacks
+    else:
+        def callback(event: ProgressEvent) -> None:
+            for each in callbacks:
+                each(event)
     return ExperimentEngine(
         workers=workers,
         cache=cache,
-        progress=_print_progress if progress else None,
+        progress=callback,
         sim_shards=sim_shards,
         eval_shards=eval_shards,
     )
@@ -215,6 +267,12 @@ def run_experiments(
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv[:1] == ["serve"]:
+        # Lazy: only the serve path pays for the serving stack.
+        from repro.serve.server import main as serve_main
+
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     names = list(args.experiments)
     available = experiment_names()
@@ -238,6 +296,12 @@ def main(argv: list[str] | None = None) -> int:
             )
             return 2
 
+    jsonl_stream = None
+    if args.progress_jsonl is not None:
+        jsonl_stream = (
+            sys.stderr if args.progress_jsonl == "-"
+            else open(args.progress_jsonl, "w", encoding="utf-8")
+        )
     engine = make_engine(
         workers=args.workers,
         cache_dir=args.cache_dir,
@@ -246,14 +310,46 @@ def main(argv: list[str] | None = None) -> int:
         sim_shards=args.sim_shards,
         cache_max_mb=args.cache_max_mb,
         eval_shards=args.eval_shards,
+        progress_jsonl=jsonl_stream,
     )
     start = time.time()
+    if jsonl_stream is not None:
+        from repro.serve import events as codec
+
+        params = {"seed": args.seed}
+        if args.samples is not None:
+            params["num_samples"] = args.samples
+        if args.matcher is not None:
+            params["matcher"] = args.matcher
+        jsonl_stream.write(codec.to_json(
+            codec.encode_run_started("offline", names, params)
+        ) + "\n")
     try:
         reports = run_experiments(
             names, args.samples, args.seed, engine, args.matcher
         )
-    finally:
+    except BaseException as exc:
+        if jsonl_stream is not None:
+            # Terminate the stream explicitly: consumers must be able
+            # to tell a failed run from a truncated one.
+            jsonl_stream.write(codec.to_json(codec.encode_run_failed(
+                "offline", f"{type(exc).__name__}: {exc}",
+                time.time() - start,
+            )) + "\n")
+            jsonl_stream.flush()
+            if jsonl_stream is not sys.stderr:
+                jsonl_stream.close()
         engine.close()
+        raise
+    else:
+        engine.close()
+    if jsonl_stream is not None:
+        jsonl_stream.write(codec.to_json(codec.encode_run_done(
+            "offline", reports, time.time() - start
+        )) + "\n")
+        jsonl_stream.flush()
+        if jsonl_stream is not sys.stderr:
+            jsonl_stream.close()
     for name in names:
         print(reports[name])
         print()

@@ -19,7 +19,9 @@ from repro.engine.registry import (
     ExperimentSpec,
     assemble_plan,
     default_engine,
+    experiment_catalog,
     experiment_names,
+    format_result,
     get_spec,
     register,
     reset_default_engine,
@@ -53,7 +55,9 @@ __all__ = [
     "ExperimentSpec",
     "assemble_plan",
     "default_engine",
+    "experiment_catalog",
     "experiment_names",
+    "format_result",
     "get_spec",
     "register",
     "reset_default_engine",

@@ -10,9 +10,22 @@ the disk tier (``cache_dir``) extends that across CLI invocations.
 Disk writes are atomic (temp file + rename) so a crashed run can never
 leave a truncated entry that poisons a later one.
 
-The disk tier can be size-capped (``max_disk_bytes``): every hit
-refreshes the entry's mtime as a ``last_used`` stamp, and writes prune
-least-recently-used entries until the tier fits the cap again.
+The disk tier can be LRU size-capped (``max_disk_bytes``, the CLI's
+``--cache-max-mb``): every disk hit refreshes the entry's mtime as a
+``last_used`` stamp, and writes that push the tier over the cap prune
+least-recently-used entries until it fits again (down to
+:attr:`ResultCache.PRUNE_HEADROOM` of the cap, riding on an O(1)
+running byte total).  The memory tier is never pruned.
+
+:class:`CacheStats` counts every lookup per job *kind* as well as in
+total (``hits_by_kind`` / ``misses_by_kind``), so sharded traffic is
+separable — e.g. a grown ``--samples`` re-run reports its prefix-reuse
+rate as the ``eval-shard`` hit fraction, which the totals alone can't
+distinguish from ``sim``-shard or whole-cell lookups.
+
+All public operations take an internal lock, so one cache may back
+several engine threads at once (the async serving layer runs
+concurrent batches against a single :class:`ResultCache`).
 """
 
 from __future__ import annotations
@@ -20,6 +33,7 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
@@ -111,6 +125,7 @@ class ResultCache:
         self.stats = CacheStats()
         self._memory: dict[str, Any] = {}
         self._disk_usage: int | None = None  # running total; lazy init
+        self._lock = threading.RLock()
 
     def _path(self, job: EvalJob) -> Path:
         assert self.cache_dir is not None
@@ -118,6 +133,10 @@ class ResultCache:
 
     def get(self, job: EvalJob) -> Any:
         """Return the cached payload for ``job`` or :data:`MISS`."""
+        with self._lock:
+            return self._get(job)
+
+    def _get(self, job: EvalJob) -> Any:
         if not self.enabled:
             self.stats._note(job.kind, hit=False)
             return MISS
@@ -151,6 +170,10 @@ class ResultCache:
 
     def put(self, job: EvalJob, payload: Any) -> None:
         """Store a payload in both tiers."""
+        with self._lock:
+            self._put(job, payload)
+
+    def _put(self, job: EvalJob, payload: Any) -> None:
         if not self.enabled:
             return
         self._memory[job.job_id] = payload
@@ -234,6 +257,10 @@ class ResultCache:
             or not self.cache_dir.is_dir()
         ):
             return 0
+        with self._lock:
+            return self._prune_disk_locked()
+
+    def _prune_disk_locked(self) -> int:
         if self.disk_usage_bytes() <= self.max_disk_bytes:
             return 0
         entries = self._disk_entries()
@@ -252,7 +279,8 @@ class ResultCache:
 
     def clear_memory(self) -> None:
         """Drop the memory tier (disk entries survive)."""
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
 
     def __len__(self) -> int:
         return len(self._memory)

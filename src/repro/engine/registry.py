@@ -107,6 +107,34 @@ def experiment_names() -> tuple[str, ...]:
     return tuple(EXPERIMENT_REGISTRY)
 
 
+def experiment_catalog() -> tuple[dict[str, str], ...]:
+    """``(name, description)`` records for every registered experiment.
+
+    The serving frontend's ``GET /experiments`` and the CLI's ``list``
+    subcommand both render from this.
+    """
+    _ensure_loaded()
+    return tuple(
+        {"name": spec.name, "description": spec.description}
+        for spec in EXPERIMENT_REGISTRY.values()
+    )
+
+
+def format_result(name: str, result: Any) -> str:
+    """Render an assembled result with the experiment's formatter.
+
+    Falls back to ``repr`` for experiments without a registered
+    formatter — the exact behaviour of the offline CLI, so a serving
+    frontend that stores this string returns artifacts bit-identical
+    to an offline run.  Importing :mod:`repro.eval.reporting` here
+    guarantees the formatters are attached no matter which entry point
+    (CLI, server, library) asked first.
+    """
+    importlib.import_module("repro.eval.reporting")
+    formatter = get_spec(name).formatter
+    return formatter(result) if formatter is not None else repr(result)
+
+
 _default_engine: ExperimentEngine | None = None
 
 
@@ -155,16 +183,21 @@ def assemble_plan(
 
 
 def run_plan(
-    plan: ExperimentPlan, engine: ExperimentEngine | None = None
+    plan: ExperimentPlan,
+    engine: ExperimentEngine | None = None,
+    progress: Callable[..., None] | None = None,
 ) -> Any:
     """Execute one plan and assemble its result."""
     engine = engine if engine is not None else default_engine()
-    return assemble_plan(plan, engine.run(plan.jobs), engine)
+    return assemble_plan(
+        plan, engine.run(plan.jobs, progress=progress), engine
+    )
 
 
 def run_experiments(
     names: Iterable[str],
     engine: ExperimentEngine | None = None,
+    progress: Callable[..., None] | None = None,
     **params: Any,
 ) -> dict[str, Any]:
     """Run several experiments as one deduplicated schedule.
@@ -172,7 +205,9 @@ def run_experiments(
     ``params`` (e.g. ``num_samples``, ``seed``) are forwarded to every
     plan factory.  Jobs shared between experiments — Table II and
     Fig. 9 overlap on every video cell, for example — are evaluated
-    once.
+    once.  ``progress`` is a batch-local streaming callback scoped to
+    this schedule only (see :meth:`ExperimentEngine.run`), which is
+    how the serving layer keeps concurrent runs' event streams apart.
 
     Returns:
         Mapping from experiment name to its assembled result.
@@ -180,7 +215,7 @@ def run_experiments(
     engine = engine if engine is not None else default_engine()
     plans = {name: get_spec(name).plan(**params) for name in names}
     all_jobs = [job for plan in plans.values() for job in plan.jobs]
-    results = engine.run(all_jobs)
+    results = engine.run(all_jobs, progress=progress)
     return {
         name: assemble_plan(plan, results, engine)
         for name, plan in plans.items()

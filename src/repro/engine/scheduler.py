@@ -5,10 +5,22 @@ EvalJob` objects — possibly collected from *several* experiments —
 collapses duplicates by key, serves what it can from the result cache,
 and runs the remainder either in-process (``workers=1``) or on a
 :class:`~concurrent.futures.ProcessPoolExecutor`.  Progress events
-stream to an optional callback as jobs finish.  With ``eval_shards``
-set, whole-cell ``eval`` jobs are further split into per-sample-span
-shards (:mod:`repro.eval.eval_shards`) that execute, dedupe, and cache
-individually and stream running partial results as they land.
+(``cache-hit`` / ``started`` / ``completed``, over every job kind the
+batch schedules: whole-cell ``eval``, per-span ``eval-shard``, sharded
+``sim``, ``fig2b``, …) stream to an optional callback as jobs finish.
+With ``eval_shards`` set, whole-cell ``eval`` jobs are further split
+into per-sample-span shards (:mod:`repro.eval.eval_shards`) that
+execute, dedupe, and cache individually and stream ``eval-shard-done``
+partial results as they land.
+
+The engine is safe to drive from several threads at once — the async
+serving layer (:mod:`repro.serve`) runs many concurrent
+:meth:`ExperimentEngine.run` batches against one engine and one
+:class:`~repro.engine.cache.ResultCache`.  Every emitted
+:class:`ProgressEvent` carries an engine-wide monotonic sequence
+number; per-batch callbacks are passed to :meth:`run` itself, while
+:meth:`subscribe` attaches engine-wide observers that see the
+interleaved stream of every batch in sequence order.
 
 Because every job is a pure function of its key (see
 :mod:`repro.engine.jobs`), parallel execution is bit-identical to
@@ -18,6 +30,8 @@ wall-clock time, never results.
 
 from __future__ import annotations
 
+import itertools
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -47,6 +61,11 @@ class ProgressEvent:
             (``parent``, ``shards_done``, ``shards_total``,
             ``samples``, ``accuracy``, ``sparsity`` — see
             :meth:`repro.eval.eval_shards.ShardProgress.as_detail`).
+        seq: Engine-wide monotonic sequence number, assigned under the
+            emit lock.  Events observed by any single callback are
+            strictly increasing in ``seq``; with several concurrent
+            batches, engine-wide subscribers can totally order the
+            interleaved stream by it.
     """
 
     action: str
@@ -55,9 +74,15 @@ class ProgressEvent:
     total: int
     elapsed_s: float = 0.0
     detail: Any = None
+    seq: int = 0
 
 
 ProgressCallback = Callable[[ProgressEvent], None]
+
+
+def _warm_up_probe() -> None:
+    """Picklable no-op submitted by :meth:`ExperimentEngine.warm_up`."""
+    return None
 
 
 @dataclass
@@ -171,12 +196,41 @@ class ExperimentEngine:
         self.eval_shards = eval_shards
         self.stats = EngineStats()
         self._pool: ProcessPoolExecutor | None = None
+        # One reentrant lock guards the counters, the pool handle, and
+        # event emission, so concurrent run() threads (the async
+        # serving layer) stay consistent and sequence numbers stay
+        # monotonic per observer.
+        self._lock = threading.RLock()
+        self._seq = itertools.count(1)
+        self._subscribers: dict[int, ProgressCallback] = {}
+        self._subscriber_tokens = itertools.count(1)
+
+    def subscribe(self, callback: ProgressCallback) -> int:
+        """Attach an engine-wide progress observer; returns a token.
+
+        Subscribers see every event from every batch (all concurrent
+        :meth:`run` calls), delivered under the emit lock in strictly
+        increasing ``seq`` order.  A subscriber that raises is dropped
+        — a broken monitor must not kill unrelated runs.  Per-batch
+        streaming belongs in :meth:`run`'s ``progress`` argument
+        instead.
+        """
+        with self._lock:
+            token = next(self._subscriber_tokens)
+            self._subscribers[token] = callback
+            return token
+
+    def unsubscribe(self, token: int) -> None:
+        """Detach a :meth:`subscribe` observer (idempotent)."""
+        with self._lock:
+            self._subscribers.pop(token, None)
 
     def close(self) -> None:
         """Shut down the persistent worker pool (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def __enter__(self) -> "ExperimentEngine":
         return self
@@ -193,52 +247,100 @@ class ExperimentEngine:
     # -- internals ---------------------------------------------------
 
     def _note_executed(self, job: EvalJob) -> None:
-        self.stats.executed += 1
-        self.stats.executed_by_kind[job.kind] = (
-            self.stats.executed_by_kind.get(job.kind, 0) + 1
-        )
+        with self._lock:
+            self.stats.executed += 1
+            self.stats.executed_by_kind[job.kind] = (
+                self.stats.executed_by_kind.get(job.kind, 0) + 1
+            )
 
     def _emit(
         self, action: str, job: EvalJob, completed: int, total: int,
         start: float, detail: Any = None,
+        progress: ProgressCallback | None = None,
     ) -> None:
-        if self.progress is not None:
-            self.progress(ProgressEvent(
+        """Build one sequenced event and deliver it to every observer.
+
+        ``progress`` is the batch-local callback handed to :meth:`run`
+        (exceptions propagate — the async layer cancels a run by
+        raising from it), ``self.progress`` the engine-wide one from
+        the constructor.  :meth:`subscribe` observers are notified
+        under the emit lock so each sees a strictly ``seq``-ordered
+        stream even across concurrent batches; a subscriber that
+        raises is dropped.
+        """
+        if (
+            progress is None
+            and self.progress is None
+            and not self._subscribers
+        ):
+            return
+        with self._lock:
+            event = ProgressEvent(
                 action=action, job=job, completed=completed, total=total,
                 elapsed_s=time.perf_counter() - start, detail=detail,
-            ))
+                seq=next(self._seq),
+            )
+            for token, callback in list(self._subscribers.items()):
+                try:
+                    callback(event)
+                except Exception:
+                    self._subscribers.pop(token, None)
+        for callback in (progress, self.progress):
+            if callback is not None:
+                callback(event)
 
     def _run_serial(
         self, pending: list[EvalJob], results: dict[EvalJob, Any],
         total: int, start: float,
         on_done: Callable[[EvalJob, Any, int], None] | None = None,
+        progress: ProgressCallback | None = None,
     ) -> None:
         for job in pending:
-            self._emit("started", job, len(results), total, start)
+            self._emit("started", job, len(results), total, start,
+                       progress=progress)
             payload = execute_job(job)
             self._note_executed(job)
             self.cache.put(job, payload)
             results[job] = payload
-            self._emit("completed", job, len(results), total, start)
+            self._emit("completed", job, len(results), total, start,
+                       progress=progress)
             if on_done is not None:
                 on_done(job, payload, len(results))
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
-        return self._pool
+        with self._lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            return self._pool
+
+    def warm_up(self) -> None:
+        """Start the worker pool now instead of on the first batch.
+
+        Idempotent; a no-op for ``workers=1``.  Under the default
+        ``fork`` start method every worker process is forked at the
+        pool's first submission, and forked children inherit all open
+        file descriptors — including accepted client sockets, whose
+        inherited duplicates would keep a connection from ever
+        delivering EOF after the parent closes it.  The serving
+        frontend therefore warms the pool *before* it opens its
+        listening socket.
+        """
+        if self.workers > 1:
+            self._ensure_pool().submit(_warm_up_probe).result()
 
     def _run_pool(
         self, pending: list[EvalJob], results: dict[EvalJob, Any],
         total: int, start: float,
         on_done: Callable[[EvalJob, Any, int], None] | None = None,
+        progress: ProgressCallback | None = None,
     ) -> None:
         pool = self._ensure_pool()
         futures: dict[Any, EvalJob] = {}
         try:
             for job in pending:
                 futures[pool.submit(execute_job, job)] = job
-                self._emit("started", job, len(results), total, start)
+                self._emit("started", job, len(results), total, start,
+                           progress=progress)
             outstanding = set(futures)
             while outstanding:
                 done, outstanding = wait(
@@ -251,7 +353,8 @@ class ExperimentEngine:
                     self.cache.put(job, payload)
                     results[job] = payload
                     self._emit(
-                        "completed", job, len(results), total, start
+                        "completed", job, len(results), total, start,
+                        progress=progress,
                     )
                     if on_done is not None:
                         on_done(job, payload, len(results))
@@ -259,7 +362,9 @@ class ExperimentEngine:
             # Release the broken executor's bookkeeping threads and let
             # the next run start a fresh pool.
             pool.shutdown(wait=False)
-            self._pool = None
+            with self._lock:
+                if self._pool is pool:
+                    self._pool = None
             raise
         except BaseException:
             # Quiesce the batch before propagating (what the old
@@ -275,12 +380,25 @@ class ExperimentEngine:
 
     # -- public API --------------------------------------------------
 
-    def run(self, jobs: Iterable[EvalJob]) -> Mapping[EvalJob, Any]:
+    def run(
+        self,
+        jobs: Iterable[EvalJob],
+        progress: ProgressCallback | None = None,
+    ) -> Mapping[EvalJob, Any]:
         """Execute a job batch; return payloads keyed by job.
 
         Duplicate jobs (equal keys) are computed once; the returned
         mapping resolves *any* submitted job, duplicate or not, since
         jobs hash by key.
+
+        ``progress`` is a batch-local callback that sees only *this*
+        call's events (the constructor's engine-wide callback and any
+        :meth:`subscribe` observers still see them too).  Concurrent
+        ``run`` calls from different threads are safe and share the
+        worker pool and cache; a batch-local callback that raises
+        aborts its own batch — pending pool futures are cancelled and
+        awaited — without touching the others, which is how the async
+        serving layer implements cancellation.
 
         With ``eval_shards`` set, whole-cell ``eval`` jobs that miss
         the cache are split into per-sample-span ``eval-shard`` jobs,
@@ -299,9 +417,10 @@ class ExperimentEngine:
             unique.setdefault(job, None)
         ordered = list(unique)
 
-        self.stats.jobs_submitted += len(submitted)
-        self.stats.jobs_unique += len(ordered)
-        self.stats.jobs_deduped += len(submitted) - len(ordered)
+        with self._lock:
+            self.stats.jobs_submitted += len(submitted)
+            self.stats.jobs_unique += len(ordered)
+            self.stats.jobs_deduped += len(submitted) - len(ordered)
 
         shard_lib = None
         if self.eval_shards is not None:
@@ -323,7 +442,8 @@ class ExperimentEngine:
             classified.add(job)
             payload = self.cache.get(job)
             if payload is not MISS:
-                self.stats.cache_hits += 1
+                with self._lock:
+                    self.stats.cache_hits += 1
                 results[job] = payload
                 hits.append(job)
                 continue
@@ -343,7 +463,8 @@ class ExperimentEngine:
                     classified.add(shard)
                     span_payload = self.cache.get(shard)
                     if span_payload is not MISS:
-                        self.stats.cache_hits += 1
+                        with self._lock:
+                            self.stats.cache_hits += 1
                         results[shard] = span_payload
                         hits.append(shard)
                     else:
@@ -363,20 +484,25 @@ class ExperimentEngine:
                 tracker.update(payload)
                 self._emit(
                     "eval-shard-done", shard, completed, total, start,
-                    detail=tracker.as_detail(parent),
+                    detail=tracker.as_detail(parent), progress=progress,
                 )
 
         for done, job in enumerate(hits, start=1):
-            self._emit("cache-hit", job, done, total, start)
+            self._emit("cache-hit", job, done, total, start,
+                       progress=progress)
             if job in shard_parents:
                 note_shard_done(job, results[job], done)
 
         if pending:
             on_done = note_shard_done if plans else None
             if self.workers == 1 or len(pending) == 1:
-                self._run_serial(pending, results, total, start, on_done)
+                self._run_serial(
+                    pending, results, total, start, on_done, progress
+                )
             else:
-                self._run_pool(pending, results, total, start, on_done)
+                self._run_pool(
+                    pending, results, total, start, on_done, progress
+                )
 
         for parent, shards in plans.items():
             merged = shard_lib.merge_eval_shards(
@@ -385,5 +511,6 @@ class ExperimentEngine:
             self.cache.put(parent, merged)
             results[parent] = merged
 
-        self.stats.wall_s += time.perf_counter() - start
+        with self._lock:
+            self.stats.wall_s += time.perf_counter() - start
         return results

@@ -1,0 +1,47 @@
+"""Streaming serving layer: async engine bridge, event codec, HTTP/SSE.
+
+See ``src/repro/engine/ARCHITECTURE.md`` ("Streaming & serving") for
+the design note, and :mod:`repro.serve.server` for the HTTP surface.
+"""
+
+from repro.serve.async_engine import (
+    DEFAULT_QUEUE_SIZE,
+    AsyncExperimentEngine,
+    AsyncRun,
+    RunCancelled,
+)
+from repro.serve.events import (
+    EVENT_SCHEMA_VERSION,
+    PROGRESS_ACTIONS,
+    TERMINAL_EVENTS,
+    encode_progress,
+    encode_run_cancelled,
+    encode_run_done,
+    encode_run_failed,
+    encode_run_started,
+    format_sse,
+    is_terminal,
+    parse_event,
+    parse_sse,
+    to_json,
+)
+
+__all__ = [
+    "DEFAULT_QUEUE_SIZE",
+    "AsyncExperimentEngine",
+    "AsyncRun",
+    "RunCancelled",
+    "EVENT_SCHEMA_VERSION",
+    "PROGRESS_ACTIONS",
+    "TERMINAL_EVENTS",
+    "encode_progress",
+    "encode_run_cancelled",
+    "encode_run_done",
+    "encode_run_failed",
+    "encode_run_started",
+    "format_sse",
+    "is_terminal",
+    "parse_event",
+    "parse_sse",
+    "to_json",
+]

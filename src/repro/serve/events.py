@@ -1,0 +1,238 @@
+"""Canonical JSON codec for streamed experiment events.
+
+Every frontend — the SSE/JSON-lines HTTP server in
+:mod:`repro.serve.server`, the CLI's ``--progress-jsonl`` emitter, CI
+smoke clients — speaks this one schema, so an offline run and a served
+run of the same spec produce byte-comparable event streams.
+
+Wire format
+-----------
+
+Each event is one JSON object with at least:
+
+``schema``
+    Integer schema version (:data:`EVENT_SCHEMA_VERSION`).  Consumers
+    must reject events from a *newer* schema than they understand
+    (:func:`parse_event` does).
+``event``
+    ``"progress"`` for engine :class:`~repro.engine.scheduler.
+    ProgressEvent` wrappers, or one of the run-lifecycle names
+    (``run-started`` and the :data:`TERMINAL_EVENTS`:
+    ``run-done`` / ``run-failed`` / ``run-cancelled``).
+``seq``
+    The engine's monotonic sequence number for progress events; ``0``
+    for lifecycle events (their ordering comes from the per-run log
+    ``id`` the server assigns at append time).
+
+Progress events add ``action`` (``cache-hit`` / ``started`` /
+``completed`` / ``eval-shard-done``), the encoded ``job`` (kind,
+model, dataset, method, sample count, seed, config digest, quantized
+flag, extras, content address, human label), the batch counters
+``completed`` / ``total``, ``elapsed_s``, and the action-specific
+``detail`` payload (for ``eval-shard-done``, the parent cell's running
+accuracy/sparsity).  All payloads are pre-flattened to JSON-native
+types (tuples to lists, NumPy scalars to Python numbers) so
+``json.dumps`` round-trips them losslessly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.engine.jobs import EvalJob, config_digest
+from repro.engine.scheduler import ProgressEvent
+
+EVENT_SCHEMA_VERSION = 1
+"""Bumped whenever the event wire format changes incompatibly."""
+
+PROGRESS_ACTIONS = ("cache-hit", "started", "completed", "eval-shard-done")
+"""Every ``action`` the engine scheduler emits."""
+
+TERMINAL_EVENTS = ("run-done", "run-failed", "run-cancelled")
+"""Event names that end a run's stream; nothing follows them."""
+
+
+def jsonify(value: Any) -> Any:
+    """Flatten a payload to JSON-native types, losslessly round-trippable.
+
+    Tuples become lists, NumPy scalars become Python numbers, mappings
+    recurse; anything else unsupported falls back to ``repr`` so an
+    exotic detail payload degrades to a string instead of killing the
+    stream.
+    """
+    if isinstance(value, Mapping):
+        return {str(key): jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return [jsonify(item) for item in value.tolist()]
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def encode_job(job: EvalJob) -> dict[str, Any]:
+    """Encode a job's full identity (never its opaque payload)."""
+    return {
+        "kind": job.kind,
+        "model": job.model,
+        "dataset": job.dataset,
+        "method": job.method,
+        "num_samples": job.num_samples,
+        "seed": job.seed,
+        "quantized": job.quantized,
+        "config_digest": config_digest(job.config),
+        "extra": jsonify(job.extra),
+        "job_id": job.job_id,
+        "label": job.describe(),
+    }
+
+
+def encode_progress(event: ProgressEvent) -> dict[str, Any]:
+    """Encode one engine :class:`ProgressEvent` as a wire event."""
+    return {
+        "schema": EVENT_SCHEMA_VERSION,
+        "event": "progress",
+        "action": event.action,
+        "seq": event.seq,
+        "completed": event.completed,
+        "total": event.total,
+        "elapsed_s": float(event.elapsed_s),
+        "job": encode_job(event.job),
+        "detail": jsonify(event.detail),
+    }
+
+
+def _lifecycle(name: str, run_id: str, **fields: Any) -> dict[str, Any]:
+    payload = {
+        "schema": EVENT_SCHEMA_VERSION,
+        "event": name,
+        "seq": 0,
+        "run_id": run_id,
+    }
+    payload.update(fields)
+    return payload
+
+
+def encode_run_started(
+    run_id: str, experiments: list[str], params: Mapping[str, Any]
+) -> dict[str, Any]:
+    """First event of every run: what was launched, with which params."""
+    return _lifecycle(
+        "run-started", run_id,
+        experiments=list(experiments), params=jsonify(dict(params)),
+    )
+
+
+def report_digest(text: str) -> str:
+    """Content digest of a formatted report, carried by ``run-done``.
+
+    Lets a streaming client verify — without fetching the artifact —
+    that the served result is byte-identical to an offline run's.
+    """
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def encode_run_done(
+    run_id: str, reports: Mapping[str, str], elapsed_s: float
+) -> dict[str, Any]:
+    """Terminal success event; carries per-report content digests."""
+    return _lifecycle(
+        "run-done", run_id,
+        elapsed_s=float(elapsed_s),
+        reports={
+            name: {"sha256": report_digest(text), "chars": len(text)}
+            for name, text in reports.items()
+        },
+    )
+
+
+def encode_run_failed(
+    run_id: str, error: str, elapsed_s: float
+) -> dict[str, Any]:
+    """Terminal failure event."""
+    return _lifecycle(
+        "run-failed", run_id, error=error, elapsed_s=float(elapsed_s)
+    )
+
+
+def encode_run_cancelled(run_id: str, elapsed_s: float) -> dict[str, Any]:
+    """Terminal cancellation event."""
+    return _lifecycle("run-cancelled", run_id, elapsed_s=float(elapsed_s))
+
+
+def is_terminal(event: Mapping[str, Any]) -> bool:
+    """Whether an encoded event ends its run's stream."""
+    return event.get("event") in TERMINAL_EVENTS
+
+
+def to_json(event: Mapping[str, Any]) -> str:
+    """Canonical single-line JSON: sorted keys, no whitespace."""
+    return json.dumps(
+        event, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def parse_event(line: str | bytes) -> dict[str, Any]:
+    """Decode one wire event, enforcing the schema version.
+
+    Raises:
+        ValueError: If the payload is not an object, lacks a schema
+            tag, or comes from a newer schema than this codec.
+    """
+    event = json.loads(line)
+    if not isinstance(event, dict):
+        raise ValueError(f"event must be a JSON object, got {type(event)}")
+    schema = event.get("schema")
+    if not isinstance(schema, int):
+        raise ValueError("event missing integer 'schema' field")
+    if schema > EVENT_SCHEMA_VERSION:
+        raise ValueError(
+            f"event schema {schema} is newer than supported "
+            f"{EVENT_SCHEMA_VERSION}"
+        )
+    return event
+
+
+# -- SSE framing ------------------------------------------------------
+
+def format_sse(event: Mapping[str, Any]) -> str:
+    """Frame one encoded event as a Server-Sent-Events message.
+
+    The SSE ``id`` is the per-run log id (``event["id"]``) when the
+    server has assigned one, so browsers reconnect with a correct
+    ``Last-Event-ID`` automatically; the ``event`` field is the
+    codec's event name, and ``data`` is the canonical JSON line.
+    """
+    lines = []
+    if "id" in event:
+        lines.append(f"id: {event['id']}")
+    lines.append(f"event: {event['event']}")
+    lines.append(f"data: {to_json(event)}")
+    return "\n".join(lines) + "\n\n"
+
+
+def parse_sse(text: str) -> list[dict[str, Any]]:
+    """Parse an SSE stream back into its decoded ``data`` events.
+
+    Comment lines (``:``) and bare ``retry:`` hints are skipped; each
+    blank-line-terminated message must carry a ``data:`` line holding
+    one codec event.  Used by tests and the CI smoke client — a real
+    browser's ``EventSource`` does the equivalent.
+    """
+    events = []
+    for block in text.split("\n\n"):
+        data_lines = [
+            line[5:].lstrip() if line.startswith("data:") else None
+            for line in block.split("\n")
+        ]
+        payload = [line for line in data_lines if line is not None]
+        if payload:
+            events.append(parse_event("\n".join(payload)))
+    return events

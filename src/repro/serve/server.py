@@ -1,0 +1,600 @@
+"""Stdlib-only asyncio HTTP frontend streaming experiment progress.
+
+``python -m repro.cli serve`` (or ``python -m repro.serve.server``)
+starts a single-process server that launches registry specs and fans
+their live event streams out to any number of clients:
+
+``POST /runs``
+    Launch a run.  JSON body: ``{"experiments": ["table2", ...],
+    "samples": N, "seed": S, "matcher": "wavefront"}`` (everything but
+    ``experiments`` optional).  Responds ``201`` with the run id and
+    the events/result URLs.  All runs share one
+    :class:`~repro.engine.scheduler.ExperimentEngine` and one
+    :class:`~repro.engine.cache.ResultCache`: a spec overlapping any
+    *finished* run is served from the cache; runs launched
+    concurrently may each execute shared jobs (dedupe is per
+    schedule, the cache joins completed ones).
+``GET /runs/{id}/events``
+    The run's event stream as Server-Sent Events (or JSON lines with
+    ``?format=jsonl``).  Events replay from a per-run ring buffer, so
+    subscribers can join late, resume with ``Last-Event-ID`` (header
+    or ``?last_event_id=N``) after a dropped connection without losing
+    events, and any number can stream one run concurrently; the
+    stream ends after the terminal event.
+``GET /runs/{id}/result``
+    The assembled artifact: per-experiment reports rendered by the
+    same formatters as the offline CLI — byte-identical to an offline
+    run of the same spec.  ``409`` while the run is still streaming.
+``DELETE /runs/{id}``
+    Cancel a run; its workers return to the shared pool.
+``GET /runs``, ``GET /runs/{id}``, ``GET /experiments``, ``GET /healthz``
+    Introspection: run listing/status, the registry catalog, liveness.
+
+The HTTP layer is deliberately minimal (HTTP/1.1, ``Connection:
+close``, no TLS) — it is the reproduction's serving surface, not a
+general web server; front it with a real proxy for anything public.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import itertools
+import json
+import secrets
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+from urllib.parse import parse_qs, urlsplit
+
+from repro.engine import registry
+from repro.serve import events as codec
+from repro.serve.async_engine import (
+    AsyncExperimentEngine,
+    AsyncRun,
+    RunCancelled,
+)
+
+DEFAULT_PORT = 8377
+DEFAULT_RING_SIZE = 65536
+DEFAULT_MAX_FINISHED_RUNS = 256
+"""Terminal runs retained (with their event logs and reports) before
+the oldest are evicted — bounds an always-on server's memory."""
+
+
+class RunLog:
+    """Per-run append-only event log with ring-buffer retention.
+
+    Events get contiguous ids ``1..n`` at append time; subscribers
+    replay any retained suffix by id and block on an
+    :class:`asyncio.Condition` for live tail-follow.  With the default
+    capacity the whole stream of any realistic run is retained, so
+    ``Last-Event-ID`` resume is lossless; if a stream ever outgrows
+    the ring, the oldest events are dropped and
+    :meth:`events_since` reports the gap.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_RING_SIZE) -> None:
+        self.capacity = max(1, capacity)
+        self._events: deque[dict[str, Any]] = deque()
+        self._first_id = 1  # id of _events[0] when non-empty
+        self._next_id = 1
+        self.closed = False
+        self._cond = asyncio.Condition()
+
+    @property
+    def last_id(self) -> int:
+        return self._next_id - 1
+
+    async def append(self, event: dict[str, Any]) -> dict[str, Any]:
+        """Assign the next id, retain, and wake tailing subscribers."""
+        stamped = dict(event)
+        async with self._cond:
+            stamped["id"] = self._next_id
+            self._next_id += 1
+            self._events.append(stamped)
+            while len(self._events) > self.capacity:
+                self._events.popleft()
+                self._first_id += 1
+            if codec.is_terminal(stamped):
+                self.closed = True
+            self._cond.notify_all()
+        return stamped
+
+    def events_since(
+        self, last_id: int
+    ) -> tuple[list[dict[str, Any]], int]:
+        """Retained events with id > ``last_id``, plus the dropped count.
+
+        The second element is how many requested events were already
+        evicted from the ring (0 in the common lossless case).  Cost
+        is proportional to the *suffix* returned, so a live-tailing
+        subscriber pays O(1) per event, not O(retained).
+        """
+        if not self._events:
+            return [], 0
+        dropped = max(0, self._first_id - 1 - last_id)
+        start = max(0, last_id + 1 - self._first_id)
+        count = len(self._events) - start
+        if count <= 0:
+            return [], dropped
+        if count < start:
+            # Short suffix of a long log (the live-tail case): walk in
+            # from the right instead of skipping the whole prefix.
+            suffix = list(itertools.islice(reversed(self._events), count))
+            suffix.reverse()
+            return suffix, dropped
+        return list(itertools.islice(self._events, start, None)), dropped
+
+    async def wait_beyond(self, last_id: int) -> None:
+        """Block until an event with id > ``last_id`` exists or the
+        stream is closed."""
+        async with self._cond:
+            await self._cond.wait_for(
+                lambda: self.last_id > last_id or self.closed
+            )
+
+
+@dataclass
+class Run:
+    """Server-side state of one launched run."""
+
+    run_id: str
+    experiments: list[str]
+    params: dict[str, Any]
+    log: RunLog
+    handle: AsyncRun
+    status: str = "running"  # running | done | failed | cancelled
+    error: str | None = None
+    reports: dict[str, str] = field(default_factory=dict)
+    started: float = field(default_factory=time.monotonic)
+    pump: asyncio.Task | None = None
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "run_id": self.run_id,
+            "status": self.status,
+            "experiments": list(self.experiments),
+            "params": codec.jsonify(self.params),
+            "events_logged": self.log.last_id,
+            "error": self.error,
+            "events_url": f"/runs/{self.run_id}/events",
+            "result_url": f"/runs/{self.run_id}/result",
+        }
+
+
+class HttpError(Exception):
+    """Routed straight to a JSON error response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+_STATUS_TEXT = {
+    200: "OK", 201: "Created", 202: "Accepted", 400: "Bad Request",
+    404: "Not Found", 405: "Method Not Allowed", 409: "Conflict",
+    410: "Gone", 500: "Internal Server Error",
+}
+
+
+class ServeApp:
+    """Routing + run lifecycle over one shared async engine."""
+
+    def __init__(
+        self,
+        engine: AsyncExperimentEngine | None = None,
+        ring_size: int = DEFAULT_RING_SIZE,
+        max_finished_runs: int = DEFAULT_MAX_FINISHED_RUNS,
+    ) -> None:
+        self.engine = (
+            engine if engine is not None else AsyncExperimentEngine()
+        )
+        self.ring_size = ring_size
+        self.max_finished_runs = max(1, max_finished_runs)
+        self.runs: dict[str, Run] = {}
+
+    def _evict_finished_runs(self) -> None:
+        """Keep at most ``max_finished_runs`` terminal runs.
+
+        Evicted runs' logs and reports are dropped (their cached job
+        results live on in the engine's ``ResultCache``); live runs
+        are never evicted, so ``runs`` stays bounded by live traffic
+        plus the retention cap instead of growing forever.
+        """
+        finished = [run_id for run_id, run in self.runs.items()
+                    if run.status != "running"]
+        for run_id in finished[:max(0, len(finished)
+                                    - self.max_finished_runs)]:
+            del self.runs[run_id]
+
+    # -- run lifecycle -----------------------------------------------
+
+    async def start_run(self, spec: dict[str, Any]) -> Run:
+        """Validate a POSTed spec, launch it, and start its pump."""
+        if not isinstance(spec, dict):
+            raise HttpError(400, "body must be a JSON object")
+        names = spec.get("experiments")
+        if (
+            not isinstance(names, list) or not names
+            or not all(isinstance(n, str) for n in names)
+        ):
+            raise HttpError(
+                400, "'experiments' must be a non-empty list of names"
+            )
+        available = registry.experiment_names()
+        unknown = [n for n in names if n not in available]
+        if unknown:
+            raise HttpError(
+                400,
+                f"unknown experiments {unknown}; "
+                f"available: {sorted(available)}",
+            )
+        try:
+            params: dict[str, Any] = {"seed": int(spec.get("seed", 0))}
+            if spec.get("samples") is not None:
+                params["num_samples"] = int(spec["samples"])
+        except (TypeError, ValueError) as exc:
+            raise HttpError(
+                400, f"'samples'/'seed' must be integers: {exc}"
+            ) from None
+        if spec.get("matcher") is not None:
+            params["matcher"] = str(spec["matcher"])
+
+        self._evict_finished_runs()
+        run_id = secrets.token_hex(8)
+        run = Run(
+            run_id=run_id,
+            experiments=list(names),
+            params=params,
+            log=RunLog(self.ring_size),
+            handle=self.engine.launch(list(names), **params),
+        )
+        self.runs[run_id] = run
+        await run.log.append(
+            codec.encode_run_started(run_id, run.experiments, params)
+        )
+        run.pump = asyncio.ensure_future(self._pump(run))
+        return run
+
+    async def _pump(self, run: Run) -> None:
+        """Single consumer of the run's event stream; feeds the log."""
+        try:
+            async for event in run.handle.events():
+                await run.log.append(codec.encode_progress(event))
+            results = await run.handle.result()
+        except (RunCancelled, asyncio.CancelledError):
+            run.status = "cancelled"
+            await run.log.append(codec.encode_run_cancelled(
+                run.run_id, time.monotonic() - run.started
+            ))
+            return
+        except Exception as exc:  # schedule failed; report, keep serving
+            run.status = "failed"
+            run.error = f"{type(exc).__name__}: {exc}"
+            await run.log.append(codec.encode_run_failed(
+                run.run_id, run.error, time.monotonic() - run.started
+            ))
+            return
+        run.reports = {
+            name: registry.format_result(name, results[name])
+            for name in run.experiments
+        }
+        run.status = "done"
+        await run.log.append(codec.encode_run_done(
+            run.run_id, run.reports, time.monotonic() - run.started
+        ))
+
+    def _get_run(self, run_id: str) -> Run:
+        try:
+            return self.runs[run_id]
+        except KeyError:
+            raise HttpError(404, f"no such run {run_id!r}") from None
+
+    # -- HTTP plumbing ------------------------------------------------
+
+    async def handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One connection, one request (``Connection: close``)."""
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, target, headers, body = request
+            try:
+                await self._route(method, target, headers, body, writer)
+            except HttpError as exc:
+                await self._respond_json(
+                    writer, exc.status, {"error": exc.message}
+                )
+            except (ConnectionResetError, BrokenPipeError):
+                pass  # client went away mid-stream; run keeps going
+            except Exception as exc:
+                await self._respond_json(
+                    writer, 500,
+                    {"error": f"{type(exc).__name__}: {exc}"},
+                )
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        try:
+            request_line = await reader.readline()
+            parts = request_line.decode("latin-1").split()
+            if len(parts) != 3:
+                return None
+            method, target, _version = parts
+            headers: dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            body = b""
+            length = int(headers.get("content-length") or 0)
+            if length:
+                body = await reader.readexactly(length)
+        except (ConnectionResetError, asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError, ValueError):
+            return None  # malformed or truncated request: just drop it
+        return method.upper(), target, headers, body
+
+    async def _route(
+        self, method: str, target: str, headers: dict[str, str],
+        body: bytes, writer: asyncio.StreamWriter,
+    ) -> None:
+        url = urlsplit(target)
+        parts = [p for p in url.path.split("/") if p]
+        query = {
+            key: values[-1]
+            for key, values in parse_qs(url.query).items()
+        }
+
+        if parts == ["healthz"] and method == "GET":
+            await self._respond_json(writer, 200, {
+                "ok": True, "runs": len(self.runs),
+                "schema": codec.EVENT_SCHEMA_VERSION,
+            })
+        elif parts == ["experiments"] and method == "GET":
+            await self._respond_json(writer, 200, {
+                "experiments": list(registry.experiment_catalog()),
+            })
+        elif parts == ["runs"] and method == "POST":
+            try:
+                spec = json.loads(body or b"{}")
+            except json.JSONDecodeError as exc:
+                raise HttpError(400, f"invalid JSON body: {exc}")
+            run = await self.start_run(spec)
+            await self._respond_json(writer, 201, run.describe())
+        elif parts == ["runs"] and method == "GET":
+            await self._respond_json(writer, 200, {
+                "runs": [run.describe() for run in self.runs.values()],
+            })
+        elif len(parts) == 2 and parts[0] == "runs" and method == "GET":
+            await self._respond_json(
+                writer, 200, self._get_run(parts[1]).describe()
+            )
+        elif len(parts) == 2 and parts[0] == "runs" and method == "DELETE":
+            run = self._get_run(parts[1])
+            run.handle.cancel()
+            await self._respond_json(writer, 202, run.describe())
+        elif (
+            len(parts) == 3 and parts[0] == "runs"
+            and parts[2] == "events" and method == "GET"
+        ):
+            await self._stream_events(
+                writer, self._get_run(parts[1]), headers, query
+            )
+        elif (
+            len(parts) == 3 and parts[0] == "runs"
+            and parts[2] == "result" and method == "GET"
+        ):
+            await self._respond_result(writer, self._get_run(parts[1]))
+        else:
+            raise HttpError(404, f"no route for {method} {url.path}")
+
+    async def _respond_result(
+        self, writer: asyncio.StreamWriter, run: Run
+    ) -> None:
+        if run.status == "running":
+            raise HttpError(409, f"run {run.run_id} is still running")
+        if run.status == "cancelled":
+            raise HttpError(410, f"run {run.run_id} was cancelled")
+        if run.status == "failed":
+            raise HttpError(500, f"run {run.run_id} failed: {run.error}")
+        await self._respond_json(writer, 200, {
+            "run_id": run.run_id,
+            "status": run.status,
+            "experiments": run.reports,
+            "reports": {
+                name: {
+                    "sha256": codec.report_digest(text),
+                    "chars": len(text),
+                }
+                for name, text in run.reports.items()
+            },
+        })
+
+    async def _stream_events(
+        self, writer: asyncio.StreamWriter, run: Run,
+        headers: dict[str, str], query: dict[str, str],
+    ) -> None:
+        jsonl = query.get("format") == "jsonl"
+        raw_resume = headers.get(
+            "last-event-id", query.get("last_event_id", "0")
+        )
+        try:
+            last_id = max(0, int(raw_resume))
+        except ValueError:
+            raise HttpError(
+                400, f"invalid Last-Event-ID {raw_resume!r}"
+            )
+
+        content_type = (
+            "application/x-ndjson" if jsonl else "text/event-stream"
+        )
+        writer.write(self._header_block(200, content_type))
+        if not jsonl:
+            writer.write(b"retry: 2000\n\n")
+        await writer.drain()
+
+        while True:
+            batch, dropped = run.log.events_since(last_id)
+            if dropped:
+                # The ring evicted part of the requested replay; tell
+                # the client instead of silently skipping.
+                gap = {
+                    "schema": codec.EVENT_SCHEMA_VERSION,
+                    "event": "gap", "seq": 0, "dropped": dropped,
+                    "id": last_id + dropped,
+                }
+                writer.write(self._frame(gap, jsonl))
+                last_id += dropped
+            for event in batch:
+                writer.write(self._frame(event, jsonl))
+                last_id = event["id"]
+            await writer.drain()
+            if run.log.closed and last_id >= run.log.last_id:
+                return
+            if not batch and not dropped:
+                await run.log.wait_beyond(last_id)
+
+    @staticmethod
+    def _frame(event: dict[str, Any], jsonl: bool) -> bytes:
+        if jsonl:
+            return (codec.to_json(event) + "\n").encode("utf-8")
+        return codec.format_sse(event).encode("utf-8")
+
+    @staticmethod
+    def _header_block(status: int, content_type: str) -> bytes:
+        return (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            "Cache-Control: no-cache\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("latin-1")
+
+    async def _respond_json(
+        self, writer: asyncio.StreamWriter, status: int, payload: Any,
+    ) -> None:
+        body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+        try:
+            writer.write(
+                (
+                    f"HTTP/1.1 {status} "
+                    f"{_STATUS_TEXT.get(status, 'OK')}\r\n"
+                    "Content-Type: application/json\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n"
+                    "\r\n"
+                ).encode("latin-1") + body
+            )
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def shutdown(self) -> None:
+        """Cancel every live run and release the engine's workers."""
+        for run in self.runs.values():
+            if run.status == "running":
+                run.handle.cancel()
+        for run in self.runs.values():
+            if run.pump is not None:
+                try:
+                    await run.pump
+                except asyncio.CancelledError:
+                    pass
+        await self.engine.close()
+
+
+async def serve(
+    app: ServeApp, host: str, port: int,
+    ready: asyncio.Event | None = None,
+) -> None:
+    """Accept connections until cancelled; announce readiness on stderr."""
+    # Fork the worker pool before any socket exists: forked children
+    # inherit open fds, and an inherited client connection would never
+    # see EOF after the parent closes it.
+    await app.engine.warm_up()
+    server = await asyncio.start_server(app.handle_client, host, port)
+    addr = server.sockets[0].getsockname()
+    print(
+        f"repro-serve listening on http://{addr[0]}:{addr[1]} "
+        f"(schema v{codec.EVENT_SCHEMA_VERSION})",
+        file=sys.stderr, flush=True,
+    )
+    if ready is not None:
+        ready.set()
+    try:
+        async with server:
+            await server.serve_forever()
+    finally:
+        await app.shutdown()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli serve",
+        description="Serve experiment runs over HTTP with SSE/JSON-lines "
+                    "progress streaming.",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT,
+                        help=f"TCP port (default: {DEFAULT_PORT})")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="engine worker processes shared by all runs")
+    parser.add_argument("--sim-shards", type=int, default=None,
+                        help="shards per trace-simulation batch")
+    parser.add_argument("--eval-shards", type=int, default=None,
+                        help="samples per evaluation shard (streams "
+                             "running partial results)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="on-disk result cache shared by all runs")
+    parser.add_argument("--cache-max-mb", type=float, default=None,
+                        help="LRU cap for the disk cache tier")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache")
+    parser.add_argument("--ring-size", type=int,
+                        default=DEFAULT_RING_SIZE,
+                        help="events retained per run for replay/resume")
+    return parser
+
+
+def main(argv: Iterable[str] | None = None) -> int:
+    args = build_parser().parse_args(
+        list(argv) if argv is not None else None
+    )
+    from repro.cli import make_engine  # no cycle: cli loads serve lazily
+
+    engine = make_engine(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
+        sim_shards=args.sim_shards,
+        eval_shards=args.eval_shards,
+        cache_max_mb=args.cache_max_mb,
+    )
+    app = ServeApp(
+        AsyncExperimentEngine(engine), ring_size=args.ring_size
+    )
+    try:
+        asyncio.run(serve(app, args.host, args.port))
+    except KeyboardInterrupt:
+        print("repro-serve: interrupted, shutting down",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
