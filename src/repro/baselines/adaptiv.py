@@ -29,6 +29,10 @@ def sign_agreement(a: np.ndarray, b: np.ndarray) -> float:
 class AdapTiVPlugin(InferencePlugin):
     """Sign-similarity intra-frame token merging at model entry."""
 
+    reusable = True
+    """Configuration-only state (threshold, rounds); every pass reads
+    fresh token state."""
+
     def __init__(self, threshold: float = 0.80, rounds: int = 2) -> None:
         """Create an AdapTiV plugin.
 

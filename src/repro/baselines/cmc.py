@@ -28,6 +28,9 @@ from repro.model.vlm import TokenState
 class CMCPlugin(InferencePlugin):
     """Codec-style inter-frame token condensing at model entry."""
 
+    reusable = True
+    """Configuration-only state (layout, threshold, search range)."""
+
     def __init__(
         self,
         layout: SubspaceLayout,

@@ -7,3 +7,6 @@ from repro.model.plugins import InferencePlugin
 
 class DensePlugin(InferencePlugin):
     """Explicit no-op plugin, for symmetric method registries."""
+
+    reusable = True
+    """No state at all; one instance serves any number of passes."""

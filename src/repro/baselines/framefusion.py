@@ -26,6 +26,10 @@ class FrameFusionPlugin(InferencePlugin):
     """Importance pruning reads ``state.scratch["attn_received"]``; the
     engine computes it lazily only for plugins that declare the need."""
 
+    reusable = True
+    """The only cross-forward state, ``_token_history``, is reset in
+    :meth:`begin`, so one instance may drive many passes."""
+
     def __init__(
         self,
         model_config: ModelConfig,

@@ -43,6 +43,11 @@ Flags:
     ``reference`` re-runs on the retained row-at-a-time oracle — an
     A/B debugging escape hatch; both produce bit-identical results,
     only wall-clock differs.
+``--forward-batch N``
+    Forward-pass batch size for every scheduled cell (default: 1,
+    the serial loop).  Same-shape samples stack into one tensorized
+    pass; results are bit-identical for any batch size, only
+    wall-clock differs.
 ``--cache-dir DIR``
     On-disk content-addressed result cache.  A warm re-run of any
     experiment performs zero new evaluations.
@@ -121,6 +126,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--matcher", choices=("wavefront", "reference"), default=None,
         help="similarity-matcher implementation (default: wavefront; "
              "'reference' is the serial oracle for A/B debugging — "
+             "results are bit-identical, only wall-clock differs)",
+    )
+    parser.add_argument(
+        "--forward-batch", type=int, default=None,
+        help="forward-pass batch size (default: 1, the serial loop; "
+             "same-shape samples stack into one tensorized pass — "
              "results are bit-identical, only wall-clock differs)",
     )
     parser.add_argument(
@@ -232,9 +243,12 @@ def run_experiment(
     seed: int = 0,
     engine: ExperimentEngine | None = None,
     matcher: str | None = None,
+    forward_batch: int | None = None,
 ) -> str:
     """Run one experiment and return its formatted report."""
-    text, = run_experiments([name], samples, seed, engine, matcher).values()
+    text, = run_experiments(
+        [name], samples, seed, engine, matcher, forward_batch
+    ).values()
     return text
 
 
@@ -244,6 +258,7 @@ def run_experiments(
     seed: int = 0,
     engine: ExperimentEngine | None = None,
     matcher: str | None = None,
+    forward_batch: int | None = None,
 ) -> dict[str, str]:
     """Run several experiments as one schedule; return formatted reports.
 
@@ -256,6 +271,8 @@ def run_experiments(
         params["num_samples"] = samples
     if matcher is not None:
         params["matcher"] = matcher
+    if forward_batch is not None:
+        params["forward_batch"] = forward_batch
     results = registry.run_experiments(names, engine, **params)
     reports = {}
     for name, result in results.items():
@@ -321,12 +338,15 @@ def main(argv: list[str] | None = None) -> int:
             params["num_samples"] = args.samples
         if args.matcher is not None:
             params["matcher"] = args.matcher
+        if args.forward_batch is not None:
+            params["forward_batch"] = args.forward_batch
         jsonl_stream.write(codec.to_json(
             codec.encode_run_started("offline", names, params)
         ) + "\n")
     try:
         reports = run_experiments(
-            names, args.samples, args.seed, engine, args.matcher
+            names, args.samples, args.seed, engine, args.matcher,
+            args.forward_batch,
         )
     except BaseException as exc:
         if jsonl_stream is not None:

@@ -54,6 +54,12 @@ class FocusConfig:
             ``"reference"`` (the retained row-at-a-time oracle).  Both
             produce bit-identical representatives; the escape hatch
             exists for A/B debugging (CLI ``--matcher``).
+        forward_batch: Samples stacked into one cross-sample batched
+            forward pass (CLI ``--forward-batch``).  ``1`` runs the
+            retained per-sample loop — the parity oracle; any value
+            produces bit-identical per-sample results, only wall-clock
+            changes.  Methods without a batched implementation fall
+            back to the serial loop.
     """
 
     block_frames: int = 2
@@ -71,6 +77,7 @@ class FocusConfig:
     scatter_accumulators: int = 64
     fp16: bool = True
     matcher: str = "wavefront"
+    forward_batch: int = 1
 
     def __post_init__(self) -> None:
         if self.vector_size <= 0:
@@ -86,6 +93,8 @@ class FocusConfig:
                 f"matcher must be 'wavefront' or 'reference', "
                 f"got {self.matcher!r}"
             )
+        if self.forward_batch < 1:
+            raise ValueError("forward_batch must be >= 1")
         for layer, ratio in self.retention_schedule.items():
             if layer < 0:
                 raise ValueError(f"retention layer {layer} must be >= 0")

@@ -164,6 +164,106 @@ class MatchOutcome:
         return (self.reps == own[None, :]).sum(axis=1)
 
 
+@dataclass
+class BatchMatchOutcome:
+    """Result of matching one tile across a stack of samples.
+
+    Attributes:
+        reps: Integer array of shape ``(S, num_blocks, n)``; slice
+            ``[s]`` is bit-identical to the ``reps`` of a per-sample
+            :class:`MatchOutcome` for sample ``s``.
+        comparisons: ``(S,)`` pairwise vector comparisons per sample
+            (a pure function of each sample's neighbor table).
+    """
+
+    reps: np.ndarray
+    comparisons: np.ndarray
+
+    def unique_counts(self) -> np.ndarray:
+        """Per-sample unique-vector count per k-block, ``(S, B)``."""
+        n = self.reps.shape[2]
+        own = np.arange(n)
+        return (self.reps == own[None, None, :]).sum(axis=2)
+
+
+@dataclass
+class BatchLevelGroup:
+    """One wavefront level of a *stack* of (possibly different) tables.
+
+    The per-sample levels are padded to the widest sample: padded row
+    slots carry row 0 with every partner masked invalid, so they can
+    never match (all similarities are ``-inf``) and never scatter.
+
+    Attributes:
+        rows: ``(S, r)`` row indices resolved at this level (0 where
+            padded).
+        valid4: ``(S, r, m, 1)`` present-partner mask (``False``
+            everywhere on padded row slots).
+        safe: ``(S, r, m)`` partner indices with absent ones clamped
+            to 0.
+        row_index: ``(1, r, 1)`` arange, for the per-row argmax pick.
+    """
+
+    rows: np.ndarray
+    valid4: np.ndarray
+    safe: np.ndarray
+    row_index: np.ndarray
+
+
+def build_batch_schedule(
+    tables: np.ndarray,
+    per_sample: "tuple[tuple[LevelGroup, ...], ...] | None" = None,
+) -> tuple[BatchLevelGroup, ...]:
+    """Merge per-sample wavefront schedules into padded stack levels.
+
+    Args:
+        tables: ``(S, n, m)`` stacked neighbor tables.
+        per_sample: Optional precomputed :func:`build_level_groups`
+            output per sample (e.g. from cached tile plans); computed
+            on the fly otherwise.
+
+    A sample's level-``l`` rows land in stack level ``l`` regardless
+    of the other samples, so every row still resolves strictly after
+    all of its own partners — the per-sample recurrence is untouched
+    and each slice stays bit-identical to its own serial pass.
+    """
+    tables = np.asarray(tables, dtype=np.int64)
+    num_samples, _, m = tables.shape
+    if per_sample is None:
+        per_sample = tuple(
+            build_level_groups(tables[s]) for s in range(num_samples)
+        )
+    depth = max((len(groups) for groups in per_sample), default=0)
+    if depth == 0:
+        return ()
+    merged = []
+    empty = np.empty(0, dtype=np.int64)
+    for level in range(depth):
+        lane_rows = [
+            groups[level].rows if level < len(groups) else empty
+            for groups in per_sample
+        ]
+        width = max(r.size for r in lane_rows)
+        rows = np.zeros((num_samples, width), dtype=np.int64)
+        valid = np.zeros((num_samples, width, m), dtype=bool)
+        safe = np.zeros((num_samples, width, m), dtype=np.int64)
+        for index, r in enumerate(lane_rows):
+            if r.size == 0:
+                continue
+            rows[index, : r.size] = r
+            tab = tables[index][r]
+            tab_valid = tab >= 0
+            valid[index, : r.size] = tab_valid
+            safe[index, : r.size] = np.where(tab_valid, tab, 0)
+        merged.append(BatchLevelGroup(
+            rows=rows,
+            valid4=valid[:, :, :, None],
+            safe=safe,
+            row_index=np.arange(width, dtype=np.int64)[None, :, None],
+        ))
+    return tuple(merged)
+
+
 def _validate_tile(table: np.ndarray, n: int) -> None:
     """One vectorized pre-check per tile (not per row): the table must
     cover the tile and every partner must precede its key."""
@@ -375,3 +475,136 @@ class SimilarityMatcher:
                 ri, bi = np.nonzero(matched)
                 reps[bi, rows[ri]] = chosen[ri, bi]
         return MatchOutcome(reps=reps, comparisons=comparisons)
+
+    def match_tile_batch(
+        self,
+        blocks: np.ndarray,
+        neighbor_table: np.ndarray,
+        norms: np.ndarray | None = None,
+        schedule: "tuple[BatchLevelGroup, ...] | None" = None,
+    ) -> BatchMatchOutcome:
+        """Match one tile across a stack of samples in one pass.
+
+        ``blocks`` is ``(S, n, B, v)`` — the per-sample ``(n, B, v)``
+        tiles of :meth:`match_tile` stacked along a leading sample
+        axis.  ``neighbor_table`` is either one shared ``(n, m)``
+        table or a stacked ``(S, n, m)`` array with a *different*
+        table per sample (the post-pruning case, where lanes of one
+        batch have diverged layouts).  The merged wavefront schedule
+        (:func:`build_batch_schedule`) pads each level to the widest
+        sample, so every level still resolves with a single gather +
+        dot/threshold pass over the whole stack.  Per-element float
+        kernels (the ``v``-axis einsum reduction, norm products,
+        threshold compares, first-maximum argmax over the partner
+        axis) are the same ones the per-sample matcher runs on each
+        slice, so slice ``s`` of the result is bit-identical to
+        ``match_tile(blocks[s], tables[s])`` — the property
+        ``tests/test_batched_forward.py`` locks in differentially.
+
+        In ``reference`` mode the stack simply loops through the
+        per-sample oracle (the A/B arm stays honest).
+        """
+        blocks = np.asarray(blocks, dtype=np.float32)
+        num_samples, n, num_blocks, _ = blocks.shape
+        tables = np.asarray(neighbor_table, dtype=np.int64)
+        if tables.ndim == 2:
+            _validate_tile(tables, n)
+            tables = np.broadcast_to(
+                tables, (num_samples,) + tables.shape
+            )
+        else:
+            if tables.shape[0] != num_samples or tables.shape[1] != n:
+                raise ValueError("stacked tables do not cover the stack")
+            if tables.size and (
+                tables >= np.arange(n)[None, :, None]
+            ).any():
+                raise ValueError("partner indices must precede the key")
+        if norms is None:
+            norms = np.linalg.norm(blocks, axis=3)
+
+        if self.mode == "reference":
+            outcomes = [
+                self.match_tile_reference(blocks[s], tables[s], norms=norms[s])
+                for s in range(num_samples)
+            ]
+            return BatchMatchOutcome(
+                reps=np.stack([o.reps for o in outcomes]) if outcomes
+                else np.empty((0, num_blocks, n), dtype=np.int64),
+                comparisons=np.array(
+                    [o.comparisons for o in outcomes], dtype=np.int64
+                ),
+            )
+
+        reps = np.tile(
+            np.arange(n, dtype=np.int64), (num_samples, num_blocks, 1)
+        )
+        comparisons = (
+            np.count_nonzero(tables >= 0, axis=(1, 2)) * num_blocks
+        ).astype(np.int64)
+        if n == 0 or tables.shape[2] == 0:
+            return BatchMatchOutcome(reps=reps, comparisons=comparisons)
+        if schedule is None:
+            schedule = build_batch_schedule(tables)
+        eps_sq = NORM_EPS * NORM_EPS
+        # The zero-norm branch must agree with each sample's *own*
+        # serial pass.  When no sample holds a sub-epsilon vector the
+        # short where is bit-identical to the full chain (see
+        # match_tile_wavefront); when any sample does, the full chain
+        # runs for the whole stack — still bit-identical for the
+        # zero-free slices, by the same argument.
+        any_zero = bool((norms < NORM_EPS).any())
+        reps_rows = reps.transpose(0, 2, 1)             # (S, n, B) view
+        sample_idx2 = np.arange(num_samples)[:, None]
+        sample_idx3 = np.arange(num_samples)[:, None, None]
+        sample_idx4 = np.arange(num_samples)[:, None, None, None]
+        block_range4 = np.arange(num_blocks)[None, None, None, :]
+        block_range_row3 = np.arange(num_blocks)[None, None, :]
+
+        for group in schedule:
+            rows = group.rows                           # (S, r)
+            partner_reps = reps_rows[sample_idx3, group.safe]  # (S,r,m,B)
+            stored = blocks[
+                sample_idx4, partner_reps, block_range4, :
+            ]                                           # (S, r, m, B, v)
+            stored_norms = norms[sample_idx4, partner_reps, block_range4]
+            key_norms = norms[sample_idx2, rows][:, :, None, :]
+            keys = blocks[sample_idx2, rows]            # (S, r, B, v)
+            dots = np.einsum("srmbv,srbv->srmb", stored, keys)
+            denom = stored_norms * key_norms
+            if any_zero:
+                sims = np.where(
+                    denom > eps_sq,
+                    dots / np.maximum(denom, eps_sq),
+                    np.where(
+                        (stored_norms < NORM_EPS) & (key_norms < NORM_EPS),
+                        1.0,
+                        0.0,
+                    ),
+                )
+                sims = np.where(group.valid4, sims, -np.inf)
+            else:
+                # One masked divide instead of divide + two where
+                # passes: valid slots with denom > eps get the very
+                # same float32 quotient (stored widened to float64,
+                # exactly as the old where-select cast it); valid
+                # slots below eps keep the pre-filled 0.0; invalid
+                # (and padded) slots keep -inf, so their best sim can
+                # never pass the threshold below.
+                sims = np.broadcast_to(
+                    np.where(group.valid4, 0.0, -np.inf), dots.shape
+                ).copy()
+                np.divide(
+                    dots, denom, out=sims,
+                    where=group.valid4 & (denom > eps_sq),
+                )
+            best = np.argmax(sims, axis=2)              # (S, r, B)
+            row_index3 = group.row_index                # (1, r, 1)
+            best_sims = sims[sample_idx3, row_index3, best, block_range_row3]
+            matched = best_sims > self.threshold        # (S, r, B)
+            if matched.any():
+                chosen = partner_reps[
+                    sample_idx3, row_index3, best, block_range_row3
+                ]
+                si, ri, bi = np.nonzero(matched)
+                reps[si, bi, rows[si, ri]] = chosen[si, ri, bi]
+        return BatchMatchOutcome(reps=reps, comparisons=comparisons)

@@ -37,6 +37,13 @@ similarity-gather sites of Sec. VI-A."""
 class FocusPlugin(InferencePlugin):
     """Streaming multilevel concentration for a synthetic VLM."""
 
+    reusable = True
+    """One instance drives any number of forward passes: the SEC and
+    gather engine are configuration-only, and the tile-plan cache is
+    keyed by a per-forward nonce (see :meth:`begin`) so plans from one
+    sample can never serve another that happens to share a version
+    number."""
+
     def __init__(
         self,
         model: SyntheticVLM | ModelConfig | int,
@@ -68,6 +75,14 @@ class FocusPlugin(InferencePlugin):
         self.enable_sic = enable_sic
         self.sec = SemanticConcentrator(config, num_layers)
         self.gather_engine = SimilarityGather(config, token_wise=token_wise)
+        self._forward_nonce = 0
+
+    def begin(self, state: TokenState) -> None:
+        # A fresh nonce per forward pass keeps tile-plan cache tokens
+        # distinct across samples: two samples both start at version 0,
+        # but their token positions differ, so a version-only token
+        # would let sample A's cached plans serve sample B.
+        self._forward_nonce += 1
 
     def after_attention_probs(
         self, layer_index: int, probs: np.ndarray, state: TokenState
@@ -106,7 +121,7 @@ class FocusPlugin(InferencePlugin):
             state.positions,
             state.is_text,
             state.grid,
-            cache_token=state.version,
+            cache_token=(self._forward_nonce, state.version),
         )
         stats = DedupStats(
             unique_vectors=result.unique_total,

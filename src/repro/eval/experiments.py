@@ -47,7 +47,9 @@ Results = Mapping[EvalJob, Any]
 
 
 def _base_config(
-    matcher: str | None = None, **overrides: object
+    matcher: str | None = None,
+    forward_batch: int | None = None,
+    **overrides: object,
 ) -> FocusConfig:
     """Per-experiment :class:`FocusConfig` derived from the default.
 
@@ -55,9 +57,14 @@ def _base_config(
     ``None`` keeps the config default (wavefront), ``"reference"``
     re-runs the experiment on the retained serial matcher.  Every plan
     factory accepts it so one flag switches an entire schedule.
+    ``forward_batch`` is the same escape hatch for ``--forward-batch``:
+    ``None`` keeps the config default (serial, batch size 1); larger
+    values stack same-shape samples into one tensorized pass.
     """
     if matcher is not None:
         overrides["matcher"] = matcher
+    if forward_batch is not None:
+        overrides["forward_batch"] = forward_batch
     if not overrides:
         return DEFAULT_CONFIG
     return DEFAULT_CONFIG.with_overrides(**overrides)
@@ -124,12 +131,13 @@ def plan_table2(
     num_samples: int = 8,
     seed: int = 0,
     matcher: str | None = None,
+    forward_batch: int | None = None,
 ) -> ExperimentPlan:
     """Reproduce Table II: accuracy and sparsity of all methods."""
     jobs = tuple(
         EvalJob(model=model, dataset=dataset, method=method,
                 num_samples=num_samples, seed=seed,
-                config=_base_config(matcher))
+                config=_base_config(matcher, forward_batch))
         for model in models
         for dataset in datasets
         for method in methods
@@ -176,7 +184,8 @@ _TABLE3_ARCHS = (
 
 @register("table3", "architecture config comparison (Table III)")
 def plan_table3(
-    num_samples: int = 2, seed: int = 0, matcher: str | None = None
+    num_samples: int = 2, seed: int = 0, matcher: str | None = None,
+    forward_batch: int | None = None,
 ) -> ExperimentPlan:
     """Reproduce Table III: per-architecture config, area and power.
 
@@ -186,7 +195,7 @@ def plan_table3(
     jobs = {
         method: EvalJob(model="llava-video", dataset="videomme",
                         method=method, num_samples=num_samples, seed=seed,
-                        config=_base_config(matcher))
+                        config=_base_config(matcher, forward_batch))
         for _, method in _TABLE3_ARCHS
     }
 
@@ -235,6 +244,7 @@ def plan_table4(
     num_samples: int = 8,
     seed: int = 0,
     matcher: str | None = None,
+    forward_batch: int | None = None,
 ) -> ExperimentPlan:
     """Reproduce Table IV: INT8 impact on accuracy and sparsity.
 
@@ -249,7 +259,7 @@ def plan_table4(
         (model, dataset, method, quant): EvalJob(
             model=model, dataset=dataset, method=method,
             num_samples=num_samples, seed=seed, quantized=quant,
-            config=_base_config(matcher),
+            config=_base_config(matcher, forward_batch),
         )
         for model in models
         for dataset in datasets
@@ -303,6 +313,7 @@ def plan_table5(
     num_samples: int = 8,
     seed: int = 0,
     matcher: str | None = None,
+    forward_batch: int | None = None,
 ) -> ExperimentPlan:
     """Reproduce Table V: single-image VLMs (one-frame videos)."""
     target_tokens = PAPER_IMAGE_TOKENS + PAPER_TEXT_TOKENS
@@ -311,7 +322,7 @@ def plan_table5(
         (model, dataset, method): EvalJob(
             model=model, dataset=dataset, method=method,
             num_samples=num_samples, seed=seed,
-            config=_base_config(matcher),
+            config=_base_config(matcher, forward_batch),
         )
         for model in models
         for dataset in datasets
@@ -373,6 +384,7 @@ def plan_fig2b(
     num_samples: int = 3,
     seed: int = 0,
     matcher: str | None = None,
+    forward_batch: int | None = None,
 ) -> ExperimentPlan:
     """Reproduce Fig. 2(b): finer vectors expose more redundancy.
 
@@ -384,7 +396,7 @@ def plan_fig2b(
     job = EvalJob(
         model=model_name, dataset=dataset, method="similarity-capture",
         num_samples=num_samples, seed=seed, kind="fig2b",
-        config=_base_config(matcher),
+        config=_base_config(matcher, forward_batch),
         extra=(("vector_sizes", tuple(vector_sizes)),
                ("threshold", threshold)),
         provider="repro.eval.similarity_stats",
@@ -421,13 +433,14 @@ def plan_fig2c(
     num_samples: int = 8,
     seed: int = 0,
     matcher: str | None = None,
+    forward_batch: int | None = None,
 ) -> ExperimentPlan:
     """Reproduce Fig. 2(c): vector-wise beats token-wise and baselines."""
     methods = ("dense", "cmc", "adaptiv", "focus-token", "focus")
     jobs = tuple(
         EvalJob(model=model, dataset=dataset, method=method,
                 num_samples=num_samples, seed=seed,
-                config=_base_config(matcher))
+                config=_base_config(matcher, forward_batch))
         for method in methods
     )
 
@@ -479,6 +492,7 @@ def plan_fig9(
     num_samples: int = 4,
     seed: int = 0,
     matcher: str | None = None,
+    forward_batch: int | None = None,
 ) -> ExperimentPlan:
     """Reproduce Fig. 9: speedup and energy vs all baselines."""
     methods = ("dense", "framefusion", "adaptiv", "cmc", "focus")
@@ -486,7 +500,7 @@ def plan_fig9(
         (model, dataset, method): EvalJob(
             model=model, dataset=dataset, method=method,
             num_samples=num_samples, seed=seed,
-            config=_base_config(matcher),
+            config=_base_config(matcher, forward_batch),
         )
         for model in models
         for dataset in datasets
@@ -496,7 +510,7 @@ def plan_fig9(
     # which the engine's dedupe collapses for free.
     power_job = EvalJob(model="llava-video", dataset="videomme",
                         method="focus", num_samples=num_samples, seed=seed,
-                        config=_base_config(matcher))
+                        config=_base_config(matcher, forward_batch))
 
     def assemble(
         results: Results, engine: ExperimentEngine | None = None
@@ -614,6 +628,7 @@ def plan_fig10a(
     num_samples: int = 4,
     seed: int = 0,
     matcher: str | None = None,
+    forward_batch: int | None = None,
 ) -> ExperimentPlan:
     """Fig. 10(a): GEMM m-tile size vs latency and buffer demand.
 
@@ -625,7 +640,7 @@ def plan_fig10a(
     jobs = {}
     for m_tile in m_tiles:
         effective = m_tile if m_tile > 0 else 1 << 20
-        config = _base_config(matcher, m_tile=effective)
+        config = _base_config(matcher, forward_batch, m_tile=effective)
         jobs[m_tile] = EvalJob(
             model=model, dataset=dataset, method="focus",
             num_samples=num_samples, seed=seed, config=config,
@@ -667,13 +682,14 @@ def plan_fig10b(
     num_samples: int = 4,
     seed: int = 0,
     matcher: str | None = None,
+    forward_batch: int | None = None,
 ) -> ExperimentPlan:
     """Fig. 10(b): vector size vs array MACs and accumulator ops."""
     jobs = {
         v: EvalJob(
             model=model, dataset=dataset, method="focus",
             num_samples=num_samples, seed=seed,
-            config=_base_config(matcher, vector_size=v, n_tile=v),
+            config=_base_config(matcher, forward_batch, vector_size=v, n_tile=v),
         )
         for v in vector_sizes
     }
@@ -709,6 +725,7 @@ def plan_fig10c(
     num_samples: int = 4,
     seed: int = 0,
     matcher: str | None = None,
+    forward_batch: int | None = None,
 ) -> ExperimentPlan:
     """Fig. 10(c): SIC block size (f, h, w) vs latency."""
     jobs = {
@@ -716,7 +733,8 @@ def plan_fig10c(
             model=model, dataset=dataset, method="focus",
             num_samples=num_samples, seed=seed,
             config=_base_config(
-                matcher, block_frames=bf, block_height=bh, block_width=bw
+                matcher, forward_batch,
+                block_frames=bf, block_height=bh, block_width=bw
             ),
         )
         for bf, bh, bw in blocks
@@ -756,6 +774,7 @@ def plan_fig10d(
     num_samples: int = 4,
     seed: int = 0,
     matcher: str | None = None,
+    forward_batch: int | None = None,
 ) -> ExperimentPlan:
     """Fig. 10(d): scatter accumulator count vs latency.
 
@@ -765,7 +784,7 @@ def plan_fig10d(
     """
     job = EvalJob(model=model, dataset=dataset, method="focus",
                   num_samples=num_samples, seed=seed,
-                  config=_base_config(matcher))
+                  config=_base_config(matcher, forward_batch))
 
     def assemble(
         results: Results, engine: ExperimentEngine | None = None
@@ -815,13 +834,14 @@ def plan_fig11(
     num_samples: int = 4,
     seed: int = 0,
     matcher: str | None = None,
+    forward_batch: int | None = None,
 ) -> ExperimentPlan:
     """Reproduce Fig. 11: SEC-only and SEC+SIC vs SA and CMC."""
     methods = ("dense", "cmc", "focus-sec", "focus")
     jobs = {
         method: EvalJob(model=model, dataset=dataset, method=method,
                         num_samples=num_samples, seed=seed,
-                        config=_base_config(matcher))
+                        config=_base_config(matcher, forward_batch))
         for method in methods
     }
 
@@ -881,13 +901,14 @@ def plan_fig12(
     num_samples: int = 4,
     seed: int = 0,
     matcher: str | None = None,
+    forward_batch: int | None = None,
 ) -> ExperimentPlan:
     """Reproduce Fig. 12: DRAM access and activation size ratios."""
     jobs = {
         (model, method): EvalJob(
             model=model, dataset=dataset, method=method,
             num_samples=num_samples, seed=seed,
-            config=_base_config(matcher),
+            config=_base_config(matcher, forward_batch),
         )
         for model in models
         for method, _ in _FIG12_METHODS
@@ -953,6 +974,7 @@ def plan_fig13(
     bins: int = 24,
     paper_tile_rows: int = 1024,
     matcher: str | None = None,
+    forward_batch: int | None = None,
 ) -> ExperimentPlan:
     """Reproduce Fig. 13: tile-length histogram and array utilization.
 
@@ -963,7 +985,7 @@ def plan_fig13(
     """
     job = EvalJob(model=model, dataset=dataset, method="focus",
                   num_samples=num_samples, seed=seed,
-                  config=_base_config(matcher))
+                  config=_base_config(matcher, forward_batch))
 
     def assemble(results: Results) -> Fig13Result:
         merged = results[job].merged_trace

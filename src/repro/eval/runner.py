@@ -9,6 +9,8 @@ whose traces feed the cycle simulator.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from typing import Callable
 
 from repro.baselines.adaptiv import AdapTiVPlugin
@@ -67,6 +69,16 @@ def make_plugin(
     return factory(model, config)
 
 
+MODEL_CACHE_MAX_ENTRIES = 8
+"""LRU bound on cached synthetic models (per cache, per process).
+The zoo holds four models, so eight covers every registered config
+plus test-patched variants while keeping long-lived serve processes —
+which construct models on demand from arbitrary request mixes — at
+bounded memory, consistent with the other engine caches
+(:data:`repro.core.gather.TABLE_CACHE_MAX_ENTRIES`,
+:data:`repro.model.functional.MASK_CACHE_MAX_ENTRIES`)."""
+
+
 class ModelCache:
     """Constructs each synthetic model at most once per process.
 
@@ -77,9 +89,15 @@ class ModelCache:
     simply not found and a fresh one is built — a shard worker can
     never evaluate against a model constructed from a different config
     than its job's key describes.
+
+    Access is serialized by a lock (the serving frontend evaluates
+    concurrent runs on one process-wide cache) and the store is a
+    bounded LRU: weight construction is deterministic, so an evicted
+    entry rebuilt later is bit-identical — eviction only costs time.
     """
 
-    _models: dict[tuple[str, str], SyntheticVLM] = {}
+    _models: OrderedDict[tuple[str, str], SyntheticVLM] = OrderedDict()
+    _lock = threading.Lock()
 
     @classmethod
     def _key(cls, name: str) -> tuple[str, str]:
@@ -88,9 +106,20 @@ class ModelCache:
     @classmethod
     def get(cls, name: str) -> SyntheticVLM:
         key = cls._key(name)
-        if key not in cls._models:
-            cls._models[key] = SyntheticVLM(get_model_config(name))
-        return cls._models[key]
+        with cls._lock:
+            model = cls._models.get(key)
+            if model is not None:
+                cls._models.move_to_end(key)
+                return model
+            # Built under the lock: constructing the same model twice
+            # in parallel would waste the exact work the cache exists
+            # to avoid, and construction is fast relative to the
+            # evaluations it serves.
+            model = SyntheticVLM(get_model_config(name))
+            cls._models[key] = model
+            while len(cls._models) > MODEL_CACHE_MAX_ENTRIES:
+                cls._models.popitem(last=False)
+            return model
 
 
 class QuantizedModelCache:
@@ -100,18 +129,28 @@ class QuantizedModelCache:
     cacheable as the FP16 original; it shares the original's
     :class:`~repro.model.spec.ModelConfig`, which keeps dense-MAC
     accounting (and therefore sparsity) directly comparable.  Keyed on
-    ``(name, config digest)`` like :class:`ModelCache`, for the same
-    staleness guarantee.
+    ``(name, config digest)`` like :class:`ModelCache`, with the same
+    lock + LRU bound.  Lock order is always Quantized -> Model (this
+    cache calls into :class:`ModelCache`, never the reverse), so the
+    nesting cannot deadlock.
     """
 
-    _models: dict[tuple[str, str], SyntheticVLM] = {}
+    _models: OrderedDict[tuple[str, str], SyntheticVLM] = OrderedDict()
+    _lock = threading.Lock()
 
     @classmethod
     def get(cls, name: str) -> SyntheticVLM:
         key = ModelCache._key(name)
-        if key not in cls._models:
-            cls._models[key] = quantize_model(ModelCache.get(name))
-        return cls._models[key]
+        with cls._lock:
+            model = cls._models.get(key)
+            if model is not None:
+                cls._models.move_to_end(key)
+                return model
+            model = quantize_model(ModelCache.get(name))
+            cls._models[key] = model
+            while len(cls._models) > MODEL_CACHE_MAX_ENTRIES:
+                cls._models.popitem(last=False)
+            return model
 
 
 def evaluate_samples(
@@ -135,11 +174,8 @@ def evaluate_samples(
         dataset=dataset_name,
         method=f"{method}-int8" if quantized else method,
     )
-    for sample in samples:
-        plugin: InferencePlugin = make_plugin(method, model, config)
-        if quantized:
-            plugin = Int8ActivationPlugin(plugin)
-        outcome = model.forward(sample, plugin)
+    outcomes = _forward_outcomes(model, samples, method, config, quantized)
+    for sample, outcome in zip(samples, outcomes):
         result.correct.append(outcome.correct)
         result.sparsities.append(
             computation_sparsity(outcome.trace, model.config, sample)
@@ -147,6 +183,47 @@ def evaluate_samples(
         result.traces.append(outcome.trace)
         result.dense_macs.append(dense_macs_for(model.config, sample))
     return result
+
+
+def _forward_outcomes(
+    model: SyntheticVLM,
+    samples: list[Sample],
+    method: str,
+    config: FocusConfig,
+    quantized: bool,
+) -> list:
+    """Per-sample inference outcomes, batched when the config asks.
+
+    With ``config.forward_batch > 1`` and a method that has a batched
+    implementation, samples run in shape-bucketed stacked passes
+    (:func:`repro.core.batched.run_batched`); otherwise the retained
+    per-sample loop runs — the parity oracle both arms are held to.
+    Either way the outcome list is in sample order and per-sample
+    bit-identical.
+    """
+    if config.forward_batch > 1:
+        from repro.core.batched import make_batch_plugin, run_batched
+
+        batch_plugin = make_batch_plugin(
+            method, model, config, quantized=quantized
+        )
+        if batch_plugin is not None:
+            return run_batched(
+                model, samples, batch_plugin, config.forward_batch
+            )
+    plugin: InferencePlugin = make_plugin(method, model, config)
+    if quantized:
+        plugin = Int8ActivationPlugin(plugin)
+    outcomes = []
+    for index, sample in enumerate(samples):
+        if index and not plugin.reusable:
+            # Stateful plugins get a fresh instance per sample, as the
+            # original loop always did; reusable ones are hoisted.
+            plugin = make_plugin(method, model, config)
+            if quantized:
+                plugin = Int8ActivationPlugin(plugin)
+        outcomes.append(model.forward(sample, plugin))
+    return outcomes
 
 
 def evaluate_span(

@@ -69,6 +69,32 @@ def causal_mask(num_tokens: int) -> np.ndarray:
     return mask
 
 
+def attention_scores(
+    q_h: np.ndarray, k_h: np.ndarray, head_dim: int
+) -> np.ndarray:
+    """Scaled, causally masked attention scores.
+
+    Accepts per-head arrays of shape ``(..., s, head_dim)`` — the
+    serial forward passes ``(heads, s, head_dim)``, the batched
+    forward ``(lanes, heads, s, head_dim)``; ``matmul`` runs the very
+    same per-slice GEMM either way and the scale/mask apply
+    elementwise, so each lane's scores are bit-identical to its own
+    serial pass.
+
+    The float32 scale keeps the attention path in float32 end to end:
+    a bare ``np.sqrt(python int)`` is a float64 scalar and would
+    silently promote every score matrix.  Scale and mask apply in
+    place on the fresh matmul output (the memoized mask is only read).
+    """
+    scores = q_h @ np.swapaxes(k_h, -2, -1)
+    scores /= np.float32(np.sqrt(head_dim))
+    scores += causal_mask(scores.shape[-1])
+    assert scores.dtype == np.float32, (
+        f"attention scores promoted to {scores.dtype}"
+    )
+    return scores
+
+
 def cosine_similarity_matrix(a: np.ndarray, b: np.ndarray, eps: float = 1e-8) -> np.ndarray:
     """Pairwise cosine similarity between rows of ``a`` and rows of ``b``.
 

@@ -76,6 +76,12 @@ class Int8ActivationPlugin(InferencePlugin):
         must compute per-key attention summaries."""
         return self.inner.needs_attention_summary
 
+    @property
+    def reusable(self) -> bool:  # type: ignore[override]
+        """Delegated: the wrapper itself is stateless, so reuse is
+        exactly as safe as the wrapped plugin's reuse."""
+        return self.inner.reusable
+
     def begin(self, state: TokenState) -> None:
         self.inner.begin(state)
 
