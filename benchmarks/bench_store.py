@@ -1,0 +1,192 @@
+"""Run-store benchmark: write-through overhead and replay throughput.
+
+Two measurements, written to ``BENCH_store.json``:
+
+* ``fanout`` — the serving benchmark's 8-subscriber JSON-lines fan-out
+  run twice over the same synthetic event stream: once ring-only and
+  once with every append writing through to a SQLite
+  :class:`~repro.store.runstore.RunStore`.  The pair quantifies what
+  durability costs on the serving hot path (``overhead_ratio``).
+* ``replay`` — events/sec re-streaming the stored run through
+  ``repro replay``'s framing path (:func:`repro.store.replay.
+  iter_frames`), for both SSE and JSON-lines framing.
+
+Gated loosely (a store-backed server must stay interactive and replay
+must beat any plausible live consumer) — the JSON is the trajectory
+record, the gate only catches collapse.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.engine import ExperimentEngine
+from repro.engine.jobs import EvalJob
+from repro.engine.scheduler import ProgressEvent
+from repro.serve import AsyncExperimentEngine, events as codec
+from repro.serve.server import Run, RunLog, ServeApp
+from repro.store import RunStore, iter_frames
+
+SUBSCRIBERS = 8
+FANOUT_EVENTS = 2000
+MIN_EVENTS_PER_SEC = 1000.0
+MIN_REPLAY_EVENTS_PER_SEC = 5000.0
+
+
+async def _start(app: ServeApp):
+    server = await asyncio.start_server(
+        app.handle_client, "127.0.0.1", 0
+    )
+    return server, server.sockets[0].getsockname()[1]
+
+
+async def _request(port, path):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(
+        f"GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n".encode()
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    return raw
+
+
+def _wire_events(count: int, run_id: str) -> list[dict]:
+    job = EvalJob(
+        model="llava-video", dataset="videomme", method="focus",
+        num_samples=8, seed=0,
+    )
+    events = [codec.encode_run_started(run_id, ["synthetic"], {})]
+    events += [
+        codec.encode_progress(ProgressEvent(
+            action="completed", job=job, completed=i + 1,
+            total=count, elapsed_s=0.0, seq=i + 1,
+        ))
+        for i in range(count)
+    ]
+    events.append(codec.encode_run_done(run_id, {}, 0.0))
+    return events
+
+
+async def _recorded_run(
+    run_id: str, events: list[dict], store: RunStore | None
+) -> tuple[Run, float]:
+    """A finished synthetic run; returns (run, append wall seconds)."""
+    if store is not None:
+        store.create_run(run_id, ["synthetic"], {})
+    log = RunLog(
+        capacity=len(events) + 2, store=store, run_id=run_id
+    )
+    run = Run(
+        run_id=run_id, experiments=["synthetic"], params={},
+        log=log, handle=None, status="done",
+    )
+    start = time.perf_counter()
+    for event in events:
+        await log.append(event)
+    return run, time.perf_counter() - start
+
+
+async def _fanout(run_id: str, store: RunStore | None) -> dict:
+    """Aggregate delivered events/sec to 8 JSON-lines subscribers."""
+    events = _wire_events(FANOUT_EVENTS, run_id)
+    app = ServeApp(AsyncExperimentEngine(ExperimentEngine()))
+    run, append_s = await _recorded_run(run_id, events, store)
+    app.runs[run.run_id] = run
+    server, port = await _start(app)
+    try:
+        async def subscribe():
+            raw = await _request(
+                port, f"/runs/{run_id}/events?format=jsonl"
+            )
+            lines = raw.partition(b"\r\n\r\n")[2].decode().splitlines()
+            assert len(lines) == len(events)
+            return len(lines)
+
+        start = time.perf_counter()
+        counts = await asyncio.gather(
+            *(subscribe() for _ in range(SUBSCRIBERS))
+        )
+        wall_s = time.perf_counter() - start
+    finally:
+        server.close()
+        await server.wait_closed()
+        await app.shutdown()
+    delivered = sum(counts)
+    return {
+        "subscribers": SUBSCRIBERS,
+        "events_per_subscriber": len(events),
+        "append_wall_s": append_s,
+        "appends_per_sec": len(events) / append_s,
+        "wall_s": wall_s,
+        "events_per_sec": delivered / wall_s,
+    }
+
+
+def _replay_throughput(store: RunStore, run_id: str) -> dict:
+    total = store.last_event_id(run_id)
+    out = {}
+    for label, jsonl in (("sse", False), ("jsonl", True)):
+        start = time.perf_counter()
+        chars = sum(
+            len(piece)
+            for piece in iter_frames(store, run_id, jsonl=jsonl)
+        )
+        wall_s = time.perf_counter() - start
+        out[label] = {
+            "events": total,
+            "chars": chars,
+            "wall_s": wall_s,
+            "events_per_sec": total / wall_s,
+        }
+    return out
+
+
+def test_store_benchmark(results_dir, capsys):
+    with tempfile.TemporaryDirectory() as tmp:
+        store = RunStore(Path(tmp) / "bench.sqlite")
+
+        async def scenario():
+            ring_only = await _fanout("bench-ring", store=None)
+            through = await _fanout("bench-store", store=store)
+            return ring_only, through
+
+        ring_only, through = asyncio.run(scenario())
+        replay = _replay_throughput(store, "bench-store")
+        store.close()
+
+    overhead = (
+        ring_only["events_per_sec"] / through["events_per_sec"]
+    )
+    payload = {
+        "fanout": {
+            "ring_only": ring_only,
+            "write_through": through,
+            "overhead_ratio": overhead,
+        },
+        "replay": replay,
+        "gate": {
+            "min_events_per_sec": MIN_EVENTS_PER_SEC,
+            "min_replay_events_per_sec": MIN_REPLAY_EVENTS_PER_SEC,
+        },
+    }
+    (results_dir / "BENCH_store.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    with capsys.disabled():
+        print(
+            f"\n[store] fan-out {through['events_per_sec']:.0f} "
+            f"events/s write-through vs "
+            f"{ring_only['events_per_sec']:.0f} ring-only "
+            f"(x{overhead:.2f}); replay "
+            f"{replay['sse']['events_per_sec']:.0f} events/s sse, "
+            f"{replay['jsonl']['events_per_sec']:.0f} events/s jsonl\n"
+        )
+
+    assert through["events_per_sec"] >= MIN_EVENTS_PER_SEC
+    for framing in replay.values():
+        assert framing["events_per_sec"] >= MIN_REPLAY_EVENTS_PER_SEC

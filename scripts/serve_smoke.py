@@ -16,13 +16,22 @@ Against an already-running ``repro serve`` instance this:
    byte-identical to an in-process offline run of the same spec, and
    matches the digest carried by the terminal event.
 
+With ``--capture PATH`` the full JSON-lines stream is additionally
+saved raw (the byte-exact live body) after the run finishes.  With
+``--replay RUN_ID --capture PATH`` the client instead checks a
+*stored* run against that capture — typically after the server was
+restarted on the same ``--store-path``: the replayed stream must be
+byte-identical to the recorded live one, and a mid-stream
+``last_event_id`` resume must return exactly the captured suffix.
+
 Stdlib + the repo only (the offline arm imports ``repro.cli``).
 """
 
 from __future__ import annotations
 
+import argparse
 import json
-import sys
+import pathlib
 import time
 import urllib.error
 import urllib.request
@@ -68,12 +77,65 @@ def read_sse(
     return events
 
 
+def fetch_jsonl(base: str, run_id: str, last_id: int = 0) -> bytes:
+    """The raw JSON-lines body of a run's event stream."""
+    url = f"{base}/runs/{run_id}/events?format=jsonl"
+    if last_id:
+        url += f"&last_event_id={last_id}"
+    with urllib.request.urlopen(url, timeout=120) as response:
+        return response.read()
+
+
+def check_replay(base: str, run_id: str, capture: str) -> int:
+    """Byte-compare a stored run's stream against a live capture."""
+    captured = pathlib.Path(capture).read_bytes()
+    replayed = fetch_jsonl(base, run_id)
+    assert replayed == captured, (
+        f"replayed stream differs from the live capture "
+        f"({len(replayed)} vs {len(captured)} bytes)"
+    )
+    # Ids are dense 1..n, so resuming after id=cut must return
+    # exactly the captured lines past the first ``cut``.
+    lines = captured.decode("utf-8").splitlines(keepends=True)
+    cut = len(lines) // 2
+    suffix = fetch_jsonl(base, run_id, last_id=cut)
+    assert suffix == "".join(lines[cut:]).encode("utf-8"), (
+        f"resume after id={cut} does not match the captured suffix"
+    )
+    print(f"replay of run {run_id} is byte-identical to the live "
+          f"capture ({len(lines)} events), including resume after "
+          f"id={cut}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("base", help="server base URL")
+    parser.add_argument("experiment", nargs="?", default="fig13")
+    parser.add_argument("samples", nargs="?", type=int, default=1)
+    parser.add_argument(
+        "--capture", metavar="PATH", default=None,
+        help="save (or, with --replay, compare against) the raw "
+             "JSON-lines stream body",
+    )
+    parser.add_argument(
+        "--replay", metavar="RUN_ID", default=None,
+        help="check a stored run against --capture instead of "
+             "launching a new one",
+    )
+    return parser
+
+
 def main() -> int:
-    base = sys.argv[1].rstrip("/")
-    experiment = sys.argv[2] if len(sys.argv) > 2 else "fig13"
-    samples = int(sys.argv[3]) if len(sys.argv) > 3 else 1
+    args = build_parser().parse_args()
+    base = args.base.rstrip("/")
+    experiment, samples = args.experiment, args.samples
 
     wait_healthy(base)
+    if args.replay is not None:
+        if args.capture is None:
+            raise SystemExit("--replay requires --capture PATH")
+        return check_replay(base, args.replay, args.capture)
     body = json.dumps(
         {"experiments": [experiment], "samples": samples, "seed": 0}
     ).encode()
@@ -120,6 +182,12 @@ def main() -> int:
     ), "terminal event digest does not match the offline report"
     print("terminal event digest and served result match the offline "
           "run byte-for-byte")
+
+    if args.capture is not None:
+        body = fetch_jsonl(base, run_id)
+        pathlib.Path(args.capture).write_bytes(body)
+        print(f"captured {len(body)} bytes of JSON-lines stream "
+              f"for run {run_id} to {args.capture}")
     return 0
 
 

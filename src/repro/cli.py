@@ -70,9 +70,24 @@ Flags:
     (:mod:`repro.serve.server`): ``POST /runs`` launches any registry
     spec, ``GET /runs/{id}/events`` streams progress as Server-Sent
     Events or JSON lines with ``Last-Event-ID`` resume, and
-    ``GET /runs/{id}/result`` returns the assembled reports.  Serve
-    flags: ``--host/--port/--workers/--sim-shards/--eval-shards/
-    --cache-dir/--cache-max-mb/--no-cache/--ring-size``.
+    ``GET /runs/{id}/result`` returns the assembled reports.  Every
+    event writes through to a durable SQLite run store (default
+    ``repro-runs.sqlite``; disable with ``--no-store``), so resume is
+    lossless past ring eviction and across restarts.  Serve flags:
+    ``--host/--port/--workers/--sim-shards/--eval-shards/--cache-dir/
+    --cache-max-mb/--no-cache/--ring-size/--store-path/--no-store``.
+
+``replay`` subcommand
+    ``python -m repro.cli replay <run-id>`` re-streams a stored run
+    byte-identically to the recorded live SSE stream (``--format
+    jsonl`` for the JSON-lines body), with ``--last-event-id N`` for
+    mid-replay resume — the offline twin of the events endpoint.
+
+``runs`` subcommand
+    ``python -m repro.cli runs [run-id]`` lists stored runs (newest
+    first) or inspects one: status, event count, per-report sha256
+    digests.  ``--latest`` prints only the newest run id; ``--json``
+    for machines.
 """
 
 from __future__ import annotations
@@ -290,6 +305,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.serve.server import main as serve_main
 
         return serve_main(argv[1:])
+    if argv[:1] == ["replay"]:
+        from repro.store.replay import replay_main
+
+        return replay_main(argv[1:])
+    if argv[:1] == ["runs"]:
+        from repro.store.replay import runs_main
+
+        return runs_main(argv[1:])
     args = build_parser().parse_args(argv)
     names = list(args.experiments)
     available = experiment_names()

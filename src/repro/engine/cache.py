@@ -15,7 +15,10 @@ The disk tier can be LRU size-capped (``max_disk_bytes``, the CLI's
 ``last_used`` stamp, and writes that push the tier over the cap prune
 least-recently-used entries until it fits again (down to
 :attr:`ResultCache.PRUNE_HEADROOM` of the cap, riding on an O(1)
-running byte total).  The memory tier is never pruned.
+running byte total).  The memory tier is never pruned.  A concurrent
+pruner (another process sharing the directory) may delete an entry
+mid-hit — between the read and the ``last_used`` touch; the lookup
+then counts as a miss rather than resurrecting an evicted entry.
 
 :class:`CacheStats` counts every lookup per job *kind* as well as in
 total (``hits_by_kind`` / ``misses_by_kind``), so sharded traffic is
@@ -159,6 +162,18 @@ class ResultCache:
                 else:
                     try:
                         os.utime(path)  # refresh the last_used stamp
+                    except FileNotFoundError:
+                        # A concurrent pruner (another process, or the
+                        # LRU eviction of a sibling cache on the same
+                        # directory) deleted the entry between the
+                        # read and the touch.  Honor the eviction:
+                        # treat the lookup as a miss instead of
+                        # resurrecting a deliberately dropped entry,
+                        # and rescan the tier lazily — the running
+                        # byte total no longer matches the directory.
+                        self._disk_usage = None
+                        self.stats._note(job.kind, hit=False)
+                        return MISS
                     except OSError:
                         pass
                     self._memory[job.job_id] = payload

@@ -95,7 +95,17 @@ class AsyncRun:
         if self._cancel.is_set():
             self._slots.release()
             raise RunCancelled(f"run of {self.names} cancelled")
-        self._loop.call_soon_threadsafe(self._queue.put_nowait, event)
+        try:
+            self._loop.call_soon_threadsafe(self._queue.put_nowait, event)
+        except RuntimeError:
+            # The loop is gone (event-loop shutdown raced a live run,
+            # e.g. a serve restart): abort the schedule like a
+            # cancellation instead of leaking an unhandled exception
+            # on the engine thread.
+            self._slots.release()
+            raise RunCancelled(
+                f"run of {self.names} cancelled (event loop closed)"
+            ) from None
 
     def _execute(self) -> dict[str, Any]:
         """Blocking body: one deduplicated schedule over all names."""

@@ -16,9 +16,10 @@ Each event is one JSON object with at least:
     (:func:`parse_event` does).
 ``event``
     ``"progress"`` for engine :class:`~repro.engine.scheduler.
-    ProgressEvent` wrappers, or one of the run-lifecycle names
+    ProgressEvent` wrappers, one of the run-lifecycle names
     (``run-started`` and the :data:`TERMINAL_EVENTS`:
-    ``run-done`` / ``run-failed`` / ``run-cancelled``).
+    ``run-done`` / ``run-failed`` / ``run-cancelled``), or ``"gap"``
+    (:func:`encode_gap`) when a replay hole could not be bridged.
 ``seq``
     The engine's monotonic sequence number for progress events; ``0``
     for lifecycle events (their ordering comes from the per-run log
@@ -200,7 +201,42 @@ def parse_event(line: str | bytes) -> dict[str, Any]:
     return event
 
 
+def encode_gap(dropped: int, next_id: int, first_seq: int) -> dict[str, Any]:
+    """Marker for an unbridgeable hole in a replayed stream.
+
+    Emitted only when the ring evicted events *and* no run store can
+    supply them.  ``id`` is the id of the last dropped event (so a
+    client resuming from the gap's id continues exactly at the first
+    retained event) and ``seq`` is the engine sequence number of the
+    first *retained* event — a client tracking its cursor by ``seq``
+    moves forward past the hole instead of regressing to 0.
+    """
+    return {
+        "schema": EVENT_SCHEMA_VERSION,
+        "event": "gap",
+        "seq": first_seq,
+        "dropped": dropped,
+        "id": next_id,
+    }
+
+
 # -- SSE framing ------------------------------------------------------
+
+SSE_RETRY_PREAMBLE = "retry: 2000\n\n"
+"""First bytes of every SSE stream (live or replayed): the standard
+reconnect-delay hint, written before any frame."""
+
+
+def frame(event: Mapping[str, Any], jsonl: bool) -> bytes:
+    """Frame one encoded event exactly as the live server streams it.
+
+    Shared by the HTTP frontend and ``repro replay`` so a replayed
+    stream is byte-identical to the recorded live one by construction.
+    """
+    if jsonl:
+        return (to_json(event) + "\n").encode("utf-8")
+    return format_sse(event).encode("utf-8")
+
 
 def format_sse(event: Mapping[str, Any]) -> str:
     """Frame one encoded event as a Server-Sent-Events message.

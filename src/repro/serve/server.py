@@ -20,7 +20,12 @@ their live event streams out to any number of clients:
     subscribers can join late, resume with ``Last-Event-ID`` (header
     or ``?last_event_id=N``) after a dropped connection without losing
     events, and any number can stream one run concurrently; the
-    stream ends after the terminal event.
+    stream ends after the terminal event.  With the durable run store
+    (on by default; ``--store-path``/``--no-store``) every event also
+    writes through to SQLite, so resume stays lossless after the ring
+    evicts *and* across server restarts — a run recorded before a
+    restart replays byte-identically from the store, and ``repro
+    replay <run-id>`` does the same offline.
 ``GET /runs/{id}/result``
     The assembled artifact: per-experiment reports rendered by the
     same formatters as the offline CLI — byte-identical to an offline
@@ -56,28 +61,43 @@ from repro.serve.async_engine import (
     AsyncRun,
     RunCancelled,
 )
+from repro.store.runstore import DEFAULT_STORE_PATH, RunStore
 
 DEFAULT_PORT = 8377
 DEFAULT_RING_SIZE = 65536
 DEFAULT_MAX_FINISHED_RUNS = 256
 """Terminal runs retained (with their event logs and reports) before
-the oldest are evicted — bounds an always-on server's memory."""
+the oldest are evicted — bounds an always-on server's memory.  With a
+run store attached, evicted runs stay reachable from SQLite."""
 
 
 class RunLog:
-    """Per-run append-only event log with ring-buffer retention.
+    """Per-run append-only event log: ring-buffer cache over the store.
 
     Events get contiguous ids ``1..n`` at append time; subscribers
     replay any retained suffix by id and block on an
-    :class:`asyncio.Condition` for live tail-follow.  With the default
-    capacity the whole stream of any realistic run is retained, so
-    ``Last-Event-ID`` resume is lossless; if a stream ever outgrows
-    the ring, the oldest events are dropped and
-    :meth:`events_since` reports the gap.
+    :class:`asyncio.Condition` for live tail-follow.  With a
+    :class:`~repro.store.runstore.RunStore` attached, every append
+    *writes through* to SQLite before it lands in the ring, so the
+    ring is purely a cache: :meth:`events_since` bridges any evicted
+    prefix from the store and resume stays lossless at every ring
+    size.  Without a store, an overflowing stream drops its oldest
+    events and :meth:`events_since` reports the gap.
     """
 
-    def __init__(self, capacity: int = DEFAULT_RING_SIZE) -> None:
+    STORE_CHUNK = 4096
+    """Events fetched from SQLite per bridging query — bounds one
+    response batch while a subscriber catches up over a huge log."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_RING_SIZE,
+        store: RunStore | None = None,
+        run_id: str | None = None,
+    ) -> None:
         self.capacity = max(1, capacity)
+        self.store = store
+        self.run_id = run_id
         self._events: deque[dict[str, Any]] = deque()
         self._first_id = 1  # id of _events[0] when non-empty
         self._next_id = 1
@@ -89,11 +109,23 @@ class RunLog:
         return self._next_id - 1
 
     async def append(self, event: dict[str, Any]) -> dict[str, Any]:
-        """Assign the next id, retain, and wake tailing subscribers."""
+        """Assign the next id, persist, retain, and wake subscribers."""
         stamped = dict(event)
         async with self._cond:
             stamped["id"] = self._next_id
             self._next_id += 1
+            if self.store is not None:
+                try:
+                    self.store.append_event(self.run_id, stamped)
+                except Exception as exc:
+                    # Never let a sick store kill a live stream: shed
+                    # the durable tier and keep serving from the ring.
+                    print(
+                        f"repro-serve: run-store write failed for "
+                        f"{self.run_id} ({type(exc).__name__}: {exc}); "
+                        "continuing ring-only", file=sys.stderr,
+                    )
+                    self.store = None
             self._events.append(stamped)
             while len(self._events) > self.capacity:
                 self._events.popleft()
@@ -106,13 +138,31 @@ class RunLog:
     def events_since(
         self, last_id: int
     ) -> tuple[list[dict[str, Any]], int]:
-        """Retained events with id > ``last_id``, plus the dropped count.
+        """Events with id > ``last_id``, plus the unbridgeable drop count.
 
-        The second element is how many requested events were already
-        evicted from the ring (0 in the common lossless case).  Cost
-        is proportional to the *suffix* returned, so a live-tailing
-        subscriber pays O(1) per event, not O(retained).
+        Served from the ring when retained; a prefix the ring evicted
+        is bridged from the run store (in :attr:`STORE_CHUNK` slices,
+        so one call never materializes an unbounded backlog — callers
+        advance past the returned batch and call again).  The second
+        element is how many requested events are gone from *both*
+        tiers (0 in the lossless case).  Ring cost is proportional to
+        the suffix returned, so a live tail pays O(1) per event.
         """
+        events, dropped = self._ring_since(last_id)
+        if not dropped or self.store is None:
+            return events, dropped
+        bridge = self.store.events_since(
+            self.run_id, last_id, limit=min(dropped, self.STORE_CHUNK)
+        )
+        if bridge and bridge[-1]["id"] - last_id == len(bridge):
+            if len(bridge) == dropped:
+                return bridge + events, 0
+            return bridge, 0  # partial bridge: caller resumes after it
+        return events, dropped  # store can't bridge: report the gap
+
+    def _ring_since(
+        self, last_id: int
+    ) -> tuple[list[dict[str, Any]], int]:
         if not self._events:
             return [], 0
         dropped = max(0, self._first_id - 1 - last_id)
@@ -189,12 +239,14 @@ class ServeApp:
         engine: AsyncExperimentEngine | None = None,
         ring_size: int = DEFAULT_RING_SIZE,
         max_finished_runs: int = DEFAULT_MAX_FINISHED_RUNS,
+        store: RunStore | None = None,
     ) -> None:
         self.engine = (
             engine if engine is not None else AsyncExperimentEngine()
         )
         self.ring_size = ring_size
         self.max_finished_runs = max(1, max_finished_runs)
+        self.store = store
         self.runs: dict[str, Run] = {}
 
     def _evict_finished_runs(self) -> None:
@@ -246,11 +298,13 @@ class ServeApp:
 
         self._evict_finished_runs()
         run_id = secrets.token_hex(8)
+        if self.store is not None:
+            self.store.create_run(run_id, list(names), params)
         run = Run(
             run_id=run_id,
             experiments=list(names),
             params=params,
-            log=RunLog(self.ring_size),
+            log=RunLog(self.ring_size, store=self.store, run_id=run_id),
             handle=self.engine.launch(list(names), **params),
         )
         self.runs[run_id] = run
@@ -271,6 +325,7 @@ class ServeApp:
             await run.log.append(codec.encode_run_cancelled(
                 run.run_id, time.monotonic() - run.started
             ))
+            self._persist_outcome(run)
             return
         except Exception as exc:  # schedule failed; report, keep serving
             run.status = "failed"
@@ -278,6 +333,7 @@ class ServeApp:
             await run.log.append(codec.encode_run_failed(
                 run.run_id, run.error, time.monotonic() - run.started
             ))
+            self._persist_outcome(run)
             return
         run.reports = {
             name: registry.format_result(name, results[name])
@@ -287,12 +343,52 @@ class ServeApp:
         await run.log.append(codec.encode_run_done(
             run.run_id, run.reports, time.monotonic() - run.started
         ))
+        self._persist_outcome(run)
+
+    def _persist_outcome(self, run: Run) -> None:
+        """Record a terminal run's status and reports in the store."""
+        if self.store is None:
+            return
+        try:
+            self.store.finish_run(
+                run.run_id, run.status,
+                elapsed_s=time.monotonic() - run.started,
+                error=run.error, reports=run.reports,
+            )
+        except Exception as exc:
+            print(
+                f"repro-serve: run-store finish failed for "
+                f"{run.run_id} ({type(exc).__name__}: {exc})",
+                file=sys.stderr,
+            )
 
     def _get_run(self, run_id: str) -> Run:
         try:
             return self.runs[run_id]
         except KeyError:
             raise HttpError(404, f"no such run {run_id!r}") from None
+
+    def _stored_run(self, run_id: str) -> dict[str, Any]:
+        """A run known only to the store (finished before this process
+        started, or evicted from the live table)."""
+        info = self.store.get_run(run_id) if self.store else None
+        if info is None:
+            raise HttpError(404, f"no such run {run_id!r}")
+        return info
+
+    @staticmethod
+    def _describe_stored(info: dict[str, Any]) -> dict[str, Any]:
+        return {
+            "run_id": info["run_id"],
+            "status": info["status"],
+            "experiments": list(info["experiments"]),
+            "params": info["params"],
+            "events_logged": info["last_event_id"],
+            "error": info["error"],
+            "stored": True,
+            "events_url": f"/runs/{info['run_id']}/events",
+            "result_url": f"/runs/{info['run_id']}/result",
+        }
 
     # -- HTTP plumbing ------------------------------------------------
 
@@ -376,14 +472,30 @@ class ServeApp:
             run = await self.start_run(spec)
             await self._respond_json(writer, 201, run.describe())
         elif parts == ["runs"] and method == "GET":
-            await self._respond_json(writer, 200, {
+            listing: dict[str, Any] = {
                 "runs": [run.describe() for run in self.runs.values()],
-            })
+            }
+            if self.store is not None:
+                live = set(self.runs)
+                listing["stored_runs"] = [
+                    self._describe_stored(info)
+                    for info in self.store.list_runs()
+                    if info["run_id"] not in live
+                ]
+            await self._respond_json(writer, 200, listing)
         elif len(parts) == 2 and parts[0] == "runs" and method == "GET":
-            await self._respond_json(
-                writer, 200, self._get_run(parts[1]).describe()
-            )
+            if parts[1] in self.runs:
+                payload = self._get_run(parts[1]).describe()
+            else:
+                payload = self._describe_stored(self._stored_run(parts[1]))
+            await self._respond_json(writer, 200, payload)
         elif len(parts) == 2 and parts[0] == "runs" and method == "DELETE":
+            if parts[1] not in self.runs and self.store is not None \
+                    and self.store.get_run(parts[1]) is not None:
+                raise HttpError(
+                    409, f"run {parts[1]!r} is not live (stored runs "
+                    "cannot be cancelled)"
+                )
             run = self._get_run(parts[1])
             run.handle.cancel()
             await self._respond_json(writer, 202, run.describe())
@@ -391,14 +503,26 @@ class ServeApp:
             len(parts) == 3 and parts[0] == "runs"
             and parts[2] == "events" and method == "GET"
         ):
-            await self._stream_events(
-                writer, self._get_run(parts[1]), headers, query
-            )
+            if parts[1] in self.runs:
+                await self._stream_events(
+                    writer, self._get_run(parts[1]), headers, query
+                )
+            else:
+                await self._stream_stored(
+                    writer, self._stored_run(parts[1]), headers, query
+                )
         elif (
             len(parts) == 3 and parts[0] == "runs"
             and parts[2] == "result" and method == "GET"
         ):
-            await self._respond_result(writer, self._get_run(parts[1]))
+            if parts[1] in self.runs:
+                await self._respond_result(
+                    writer, self._get_run(parts[1])
+                )
+            else:
+                await self._respond_stored_result(
+                    writer, self._stored_run(parts[1])
+                )
         else:
             raise HttpError(404, f"no route for {method} {url.path}")
 
@@ -424,43 +548,55 @@ class ServeApp:
             },
         })
 
-    async def _stream_events(
-        self, writer: asyncio.StreamWriter, run: Run,
+    @staticmethod
+    def _parse_stream_query(
         headers: dict[str, str], query: dict[str, str],
-    ) -> None:
+    ) -> tuple[bool, int]:
+        """``(jsonl, last_id)`` from the resume header/query params."""
         jsonl = query.get("format") == "jsonl"
         raw_resume = headers.get(
             "last-event-id", query.get("last_event_id", "0")
         )
         try:
-            last_id = max(0, int(raw_resume))
+            return jsonl, max(0, int(raw_resume))
         except ValueError:
             raise HttpError(
                 400, f"invalid Last-Event-ID {raw_resume!r}"
-            )
+            ) from None
 
+    def _start_stream(
+        self, writer: asyncio.StreamWriter, jsonl: bool
+    ) -> None:
         content_type = (
             "application/x-ndjson" if jsonl else "text/event-stream"
         )
         writer.write(self._header_block(200, content_type))
         if not jsonl:
-            writer.write(b"retry: 2000\n\n")
+            writer.write(codec.SSE_RETRY_PREAMBLE.encode("latin-1"))
+
+    async def _stream_events(
+        self, writer: asyncio.StreamWriter, run: Run,
+        headers: dict[str, str], query: dict[str, str],
+    ) -> None:
+        jsonl, last_id = self._parse_stream_query(headers, query)
+        self._start_stream(writer, jsonl)
         await writer.drain()
 
         while True:
             batch, dropped = run.log.events_since(last_id)
             if dropped:
-                # The ring evicted part of the requested replay; tell
-                # the client instead of silently skipping.
-                gap = {
-                    "schema": codec.EVENT_SCHEMA_VERSION,
-                    "event": "gap", "seq": 0, "dropped": dropped,
-                    "id": last_id + dropped,
-                }
-                writer.write(self._frame(gap, jsonl))
+                # Both the ring and the store (if any) have lost part
+                # of the requested replay; tell the client instead of
+                # silently skipping.  The gap carries the first
+                # *retained* seq so id/seq cursors move forward.
+                first_seq = batch[0].get("seq", 0) if batch else 0
+                gap = codec.encode_gap(
+                    dropped, last_id + dropped, first_seq
+                )
+                writer.write(codec.frame(gap, jsonl))
                 last_id += dropped
             for event in batch:
-                writer.write(self._frame(event, jsonl))
+                writer.write(codec.frame(event, jsonl))
                 last_id = event["id"]
             await writer.drain()
             if run.log.closed and last_id >= run.log.last_id:
@@ -468,11 +604,51 @@ class ServeApp:
             if not batch and not dropped:
                 await run.log.wait_beyond(last_id)
 
-    @staticmethod
-    def _frame(event: dict[str, Any], jsonl: bool) -> bytes:
-        if jsonl:
-            return (codec.to_json(event) + "\n").encode("utf-8")
-        return codec.format_sse(event).encode("utf-8")
+    async def _stream_stored(
+        self, writer: asyncio.StreamWriter, info: dict[str, Any],
+        headers: dict[str, str], query: dict[str, str],
+    ) -> None:
+        """Replay a store-only run (e.g. recorded before a restart).
+
+        Byte-identical to the live stream the run produced: frames are
+        built from the stored canonical JSON lines.  The stream ends
+        at the last stored event — stored runs are never live, so
+        there is nothing to tail.
+        """
+        from repro.store.replay import frame_raw
+
+        jsonl, last_id = self._parse_stream_query(headers, query)
+        self._start_stream(writer, jsonl)
+        await writer.drain()
+        for event_id, name, payload in self.store.iter_raw_events(
+            info["run_id"], last_id, chunk=RunLog.STORE_CHUNK
+        ):
+            writer.write(
+                frame_raw(event_id, name, payload, jsonl).encode("utf-8")
+            )
+            if event_id % RunLog.STORE_CHUNK == 0:
+                await writer.drain()
+        await writer.drain()
+
+    async def _respond_stored_result(
+        self, writer: asyncio.StreamWriter, info: dict[str, Any],
+    ) -> None:
+        run_id = info["run_id"]
+        if info["status"] == "running":
+            raise HttpError(409, f"run {run_id} is still running")
+        if info["status"] == "cancelled":
+            raise HttpError(410, f"run {run_id} was cancelled")
+        if info["status"] == "failed":
+            raise HttpError(
+                500, f"run {run_id} failed: {info['error']}"
+            )
+        await self._respond_json(writer, 200, {
+            "run_id": run_id,
+            "status": info["status"],
+            "stored": True,
+            "experiments": self.store.reports(run_id),
+            "reports": self.store.report_digests(run_id),
+        })
 
     @staticmethod
     def _header_block(status: int, content_type: str) -> bytes:
@@ -542,6 +718,21 @@ async def serve(
         await app.shutdown()
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for flags that must be >= 1 (e.g. ``--ring-size``:
+    a 0-capacity ring would evict every event and leave subscribers
+    nothing but gaps — reject it before a server ever starts)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is not an integer"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli serve",
@@ -565,16 +756,26 @@ def build_parser() -> argparse.ArgumentParser:
                         help="LRU cap for the disk cache tier")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the result cache")
-    parser.add_argument("--ring-size", type=int,
+    parser.add_argument("--ring-size", type=_positive_int,
                         default=DEFAULT_RING_SIZE,
-                        help="events retained per run for replay/resume")
+                        help="events retained per run in memory for "
+                             "replay/resume (>= 1); the run store "
+                             "bridges anything older")
+    parser.add_argument("--store-path", default=None, metavar="PATH",
+                        help="durable run-store database every event "
+                             "writes through to (default: "
+                             f"{DEFAULT_STORE_PATH})")
+    parser.add_argument("--no-store", action="store_true",
+                        help="disable the durable run store (runs die "
+                             "with the process, as before)")
     return parser
 
 
 def main(argv: Iterable[str] | None = None) -> int:
-    args = build_parser().parse_args(
-        list(argv) if argv is not None else None
-    )
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    if args.no_store and args.store_path is not None:
+        parser.error("--no-store conflicts with --store-path")
     from repro.cli import make_engine  # no cycle: cli loads serve lazily
 
     engine = make_engine(
@@ -585,14 +786,28 @@ def main(argv: Iterable[str] | None = None) -> int:
         eval_shards=args.eval_shards,
         cache_max_mb=args.cache_max_mb,
     )
+    store = None
+    if not args.no_store:
+        store = RunStore(args.store_path or DEFAULT_STORE_PATH)
+        interrupted = store.recover_interrupted()
+        if interrupted:
+            print(
+                f"repro-serve: marked {len(interrupted)} interrupted "
+                f"run(s) failed (recorded events stay replayable): "
+                f"{interrupted}", file=sys.stderr,
+            )
     app = ServeApp(
-        AsyncExperimentEngine(engine), ring_size=args.ring_size
+        AsyncExperimentEngine(engine), ring_size=args.ring_size,
+        store=store,
     )
     try:
         asyncio.run(serve(app, args.host, args.port))
     except KeyboardInterrupt:
         print("repro-serve: interrupted, shutting down",
               file=sys.stderr)
+    finally:
+        if store is not None:
+            store.close()
     return 0
 
 

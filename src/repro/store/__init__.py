@@ -1,0 +1,33 @@
+"""Durable run store: SQLite-backed event/report persistence + replay.
+
+See ``src/repro/engine/ARCHITECTURE.md`` ("Run store & replay") for
+the design note.  :class:`RunStore` is the write-through tier under
+the serving layer's ring buffer; :mod:`repro.store.replay` re-streams
+stored runs byte-identically to the recorded live stream.
+"""
+
+from repro.store.replay import (
+    frame_raw,
+    iter_frames,
+    replay_main,
+    replay_run,
+    runs_main,
+)
+from repro.store.runstore import (
+    DEFAULT_STORE_PATH,
+    STORE_SCHEMA_VERSION,
+    RunStore,
+    StoreError,
+)
+
+__all__ = [
+    "DEFAULT_STORE_PATH",
+    "STORE_SCHEMA_VERSION",
+    "RunStore",
+    "StoreError",
+    "frame_raw",
+    "iter_frames",
+    "replay_main",
+    "replay_run",
+    "runs_main",
+]

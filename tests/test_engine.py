@@ -180,6 +180,41 @@ class TestDiskCacheLru:
         assert cache.get(jobs[0]) is not MISS
         assert cache.stats.memory_hits == 1
 
+    def test_concurrent_prune_mid_hit_is_a_miss(
+        self, tmp_path, monkeypatch
+    ):
+        # A sibling process sharing the directory can prune an entry
+        # between the disk read and the last_used touch.  The lookup
+        # must honor the eviction — count a miss and recompute — not
+        # resurrect a deliberately dropped entry as a hit.
+        import os
+
+        job = _job()
+        ResultCache(cache_dir=tmp_path).put(job, "payload")
+        cache = ResultCache(cache_dir=tmp_path)
+        cache.disk_usage_bytes()  # materialize the running byte total
+        real_utime = os.utime
+
+        def racing_utime(path, *args, **kwargs):
+            os.unlink(path)  # the concurrent pruner wins the race
+            return real_utime(path, *args, **kwargs)
+
+        monkeypatch.setattr("os.utime", racing_utime)
+        assert cache.get(job) is MISS
+        assert cache.stats.misses == 1
+        assert cache.stats.misses_by_kind == {job.kind: 1}
+        assert cache.stats.disk_hits == 0
+        # The vanished entry was not promoted to the memory tier.
+        assert len(cache) == 0
+        monkeypatch.undo()
+        # The cache stays fully usable after the race ...
+        cache.put(job, "payload")
+        assert cache.get(job) == "payload"
+        # ... and the byte total was invalidated, not left stale.
+        assert cache.disk_usage_bytes() == (
+            cache._entry_size(cache._path(job))
+        )
+
     def test_uncapped_cache_never_prunes(self, tmp_path):
         jobs = [_job(seed=s) for s in range(4)]
         cache = self._fill(tmp_path, jobs)

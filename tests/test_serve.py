@@ -729,6 +729,61 @@ class TestHttpFrontend:
 
         asyncio.run(scenario())
 
+    def test_gap_carries_first_retained_seq_and_reconnect(
+        self, tiny_experiment
+    ):
+        # Regression: the gap marker used to hard-code ``"seq": 0``,
+        # so a client tracking its cursor by seq regressed to the
+        # start of the run after every overflow.  The gap must carry
+        # the first *retained* event's seq, and resuming from the
+        # gap's id must replay exactly the retained suffix.
+        async def scenario():
+            app = ServeApp(
+                AsyncExperimentEngine(ExperimentEngine()), ring_size=2
+            )
+            server, port = await _start(app)
+            try:
+                _, run = await _json_request(
+                    port, "POST", "/runs",
+                    {"experiments": [tiny_experiment]},
+                )
+                run_id = run["run_id"]
+                status = 409
+                while status == 409:
+                    await asyncio.sleep(0.02)
+                    status, _ = await _json_request(
+                        port, "GET", f"/runs/{run_id}/result"
+                    )
+                _, raw = await _request(
+                    port, "GET", f"/runs/{run_id}/events"
+                )
+                stream = codec.parse_sse(raw.decode())
+                gap, retained = stream[0], stream[1:]
+                assert gap["event"] == "gap"
+                # stamped with the first retained seq, never 0: the
+                # retained suffix of this run starts at a progress
+                # event whose engine seq is well past the hole
+                assert gap["seq"] == retained[0]["seq"] > 0
+                # the gap's id is the last dropped id, so id cursors
+                # continue exactly at the first retained event
+                assert gap["id"] == retained[0]["id"] - 1
+
+                # Reconnect-after-gap: a client that saw the gap
+                # resumes from its id and gets only the retained
+                # suffix — no second gap, no replay from the start.
+                _, raw = await _request(
+                    port, "GET", f"/runs/{run_id}/events",
+                    headers={"Last-Event-ID": str(gap["id"])},
+                )
+                resumed = codec.parse_sse(raw.decode())
+                assert resumed == retained
+            finally:
+                server.close()
+                await server.wait_closed()
+                await app.shutdown()
+
+        asyncio.run(scenario())
+
 
 @pytest.mark.slow
 class TestServedRealExperiment:
