@@ -48,6 +48,27 @@ Flags:
     the serial loop).  Same-shape samples stack into one tensorized
     pass; results are bit-identical for any batch size, only
     wall-clock differs.
+``--retries N``
+    Extra attempts per failed job (default: 0).  Attempts back off
+    exponentially from ``--retry-backoff`` with deterministic jitter
+    derived from the job key; every retry re-derives the same seeds,
+    so retried results are bit-identical to first-try ones.
+``--retry-backoff SECONDS``
+    Base backoff before a job's second attempt (default: 0.05);
+    doubles per retry, capped at 5s.
+``--job-timeout SECONDS``
+    Per-job wall-clock budget, enforced on the worker pool (needs
+    ``--workers`` >= 2): a hung job's worker is reclaimed, innocent
+    in-flight jobs are re-dispatched without penalty, and the job
+    retries or fails per ``--retries``.
+``--on-error {raise,collect}``
+    What to do when a job exhausts its attempts: ``raise`` (default)
+    aborts the run with the original error; ``collect`` keeps going,
+    renders failed experiments as structured failure summaries, and
+    exits with code 3 (partial results).  Worker-crash recovery is
+    always on: a crashed worker's pool is respawned and only
+    un-completed jobs are re-dispatched; a job that repeatedly kills
+    its worker is quarantined as poisoned.
 ``--cache-dir DIR``
     On-disk content-addressed result cache.  A warm re-run of any
     experiment performs zero new evaluations.
@@ -75,7 +96,8 @@ Flags:
     ``repro-runs.sqlite``; disable with ``--no-store``), so resume is
     lossless past ring eviction and across restarts.  Serve flags:
     ``--host/--port/--workers/--sim-shards/--eval-shards/--cache-dir/
-    --cache-max-mb/--no-cache/--ring-size/--store-path/--no-store``.
+    --cache-max-mb/--no-cache/--retries/--retry-backoff/--job-timeout/
+    --ring-size/--store-path/--no-store``.
 
 ``replay`` subcommand
     ``python -m repro.cli replay <run-id>`` re-streams a stored run
@@ -97,14 +119,66 @@ import sys
 import time
 from pathlib import Path
 
-from repro.engine import ExperimentEngine, ProgressEvent, ResultCache
+from repro.engine import (
+    ExperimentEngine,
+    ExperimentFailure,
+    ProgressEvent,
+    ResultCache,
+    RetryPolicy,
+)
 from repro.engine import registry
 from repro.engine.registry import (
     EXPERIMENT_REGISTRY,
     experiment_names,
-    get_spec,
 )
 from repro.eval import reporting as rep  # noqa: F401  (attaches formatters)
+
+EXIT_PARTIAL = 3
+"""Exit status of an ``--on-error collect`` run that lost experiments."""
+
+
+def positive_int(text: str) -> int:
+    """Argparse type: a strictly positive integer (>= 1)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def nonnegative_int(text: str) -> int:
+    """Argparse type: an integer >= 0."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def positive_float(text: str) -> float:
+    """Argparse type: a strictly positive, finite number."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}")
+    if not value > 0 or value != value or value == float("inf"):
+        raise argparse.ArgumentTypeError(f"must be > 0, got {text}")
+    return value
+
+
+def nonnegative_float(text: str) -> float:
+    """Argparse type: a finite number >= 0."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}")
+    if not value >= 0 or value == float("inf"):
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {text}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -124,16 +198,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0, help="experiment seed",
     )
     parser.add_argument(
-        "--workers", type=int, default=1,
+        "--workers", type=positive_int, default=1,
         help="worker processes (results are identical for any count)",
     )
     parser.add_argument(
-        "--sim-shards", type=int, default=None,
+        "--sim-shards", type=positive_int, default=None,
         help="shards per trace-simulation batch (default: one per "
              "worker; results are identical for any count)",
     )
     parser.add_argument(
-        "--eval-shards", type=int, default=None,
+        "--eval-shards", type=positive_int, default=None,
         help="samples per evaluation shard (default: whole cells; "
              "results are identical for any span size)",
     )
@@ -148,6 +222,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="forward-pass batch size (default: 1, the serial loop; "
              "same-shape samples stack into one tensorized pass — "
              "results are bit-identical, only wall-clock differs)",
+    )
+    parser.add_argument(
+        "--retries", type=nonnegative_int, default=0,
+        help="extra attempts per failed job (default: 0; retried "
+             "results are bit-identical to first-try ones)",
+    )
+    parser.add_argument(
+        "--retry-backoff", type=nonnegative_float, default=0.05,
+        metavar="SECONDS",
+        help="base backoff before a job's second attempt (default: "
+             "0.05; doubles per retry with deterministic jitter)",
+    )
+    parser.add_argument(
+        "--job-timeout", type=positive_float, default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock budget (pool mode only): a hung "
+             "job's worker is reclaimed and the job retries or fails "
+             "per --retries",
+    )
+    parser.add_argument(
+        "--on-error", choices=("raise", "collect"), default="raise",
+        help="when a job exhausts its attempts: 'raise' aborts the "
+             "run (default); 'collect' keeps going, reports failed "
+             "experiments as structured summaries, and exits 3",
     )
     parser.add_argument(
         "--cache-dir", default=None,
@@ -214,6 +312,9 @@ def make_engine(
     cache_max_mb: float | None = None,
     eval_shards: int | None = None,
     progress_jsonl=None,
+    retries: int = 0,
+    retry_backoff: float = 0.05,
+    job_timeout: float | None = None,
 ) -> ExperimentEngine:
     """Build an engine from CLI-style options.
 
@@ -221,6 +322,10 @@ def make_engine(
     progress event is also written to it as one canonical JSON line
     (:mod:`repro.serve.events`) — the same wire format the serving
     frontend streams, so offline and served runs are comparable.
+
+    ``retries`` extra attempts per failed job (``max_attempts =
+    retries + 1``) backing off from ``retry_backoff`` seconds, and
+    ``job_timeout`` caps each job's wall clock (pool mode).
     """
     max_disk_bytes = (
         int(cache_max_mb * 1e6) if cache_max_mb is not None else None
@@ -243,12 +348,19 @@ def make_engine(
         def callback(event: ProgressEvent) -> None:
             for each in callbacks:
                 each(event)
+    retry_policy = None
+    if retries > 0:
+        retry_policy = RetryPolicy(
+            max_attempts=retries + 1, backoff_s=retry_backoff
+        )
     return ExperimentEngine(
         workers=workers,
         cache=cache,
         progress=callback,
         sim_shards=sim_shards,
         eval_shards=eval_shards,
+        retry_policy=retry_policy,
+        job_timeout_s=job_timeout,
     )
 
 
@@ -259,10 +371,11 @@ def run_experiment(
     engine: ExperimentEngine | None = None,
     matcher: str | None = None,
     forward_batch: int | None = None,
+    on_error: str = "raise",
 ) -> str:
     """Run one experiment and return its formatted report."""
     text, = run_experiments(
-        [name], samples, seed, engine, matcher, forward_batch
+        [name], samples, seed, engine, matcher, forward_batch, on_error
     ).values()
     return text
 
@@ -274,11 +387,36 @@ def run_experiments(
     engine: ExperimentEngine | None = None,
     matcher: str | None = None,
     forward_batch: int | None = None,
+    on_error: str = "raise",
 ) -> dict[str, str]:
     """Run several experiments as one schedule; return formatted reports.
 
     Jobs are collected from every requested experiment before anything
     executes, so duplicates across experiments are evaluated once.
+    With ``on_error="collect"``, experiments whose jobs were
+    permanently lost render their deterministic failure summary
+    instead of raising.
+    """
+    reports, _ = _run_detailed(
+        names, samples, seed, engine, matcher, forward_batch, on_error
+    )
+    return reports
+
+
+def _run_detailed(
+    names: list[str],
+    samples: int | None,
+    seed: int,
+    engine: ExperimentEngine | None,
+    matcher: str | None,
+    forward_batch: int | None,
+    on_error: str,
+) -> tuple[dict[str, str], dict[str, object]]:
+    """Run a schedule; return formatted reports + structured failures.
+
+    ``failures`` maps each failed experiment name (``on_error=
+    "collect"`` only) to its :meth:`~repro.engine.faults.
+    ExperimentFailure.as_detail` record.
     """
     engine = engine if engine is not None else make_engine()
     params: dict = {"seed": seed}
@@ -288,14 +426,16 @@ def run_experiments(
         params["matcher"] = matcher
     if forward_batch is not None:
         params["forward_batch"] = forward_batch
-    results = registry.run_experiments(names, engine, **params)
+    results = registry.run_experiments(
+        names, engine, on_error=on_error, **params
+    )
     reports = {}
+    failures: dict[str, object] = {}
     for name, result in results.items():
-        formatter = get_spec(name).formatter
-        reports[name] = (
-            formatter(result) if formatter is not None else repr(result)
-        )
-    return reports
+        reports[name] = registry.format_result(name, result)
+        if isinstance(result, ExperimentFailure):
+            failures[name] = result.as_detail()
+    return reports, failures
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -351,6 +491,9 @@ def main(argv: list[str] | None = None) -> int:
         cache_max_mb=args.cache_max_mb,
         eval_shards=args.eval_shards,
         progress_jsonl=jsonl_stream,
+        retries=args.retries,
+        retry_backoff=args.retry_backoff,
+        job_timeout=args.job_timeout,
     )
     start = time.time()
     if jsonl_stream is not None:
@@ -367,9 +510,9 @@ def main(argv: list[str] | None = None) -> int:
             codec.encode_run_started("offline", names, params)
         ) + "\n")
     try:
-        reports = run_experiments(
+        reports, failures = _run_detailed(
             names, args.samples, args.seed, engine, args.matcher,
-            args.forward_batch,
+            args.forward_batch, args.on_error,
         )
     except BaseException as exc:
         if jsonl_stream is not None:
@@ -387,9 +530,15 @@ def main(argv: list[str] | None = None) -> int:
     else:
         engine.close()
     if jsonl_stream is not None:
-        jsonl_stream.write(codec.to_json(codec.encode_run_done(
-            "offline", reports, time.time() - start
-        )) + "\n")
+        if failures:
+            terminal = codec.encode_run_partial(
+                "offline", reports, failures, time.time() - start
+            )
+        else:
+            terminal = codec.encode_run_done(
+                "offline", reports, time.time() - start
+            )
+        jsonl_stream.write(codec.to_json(terminal) + "\n")
         jsonl_stream.flush()
         if jsonl_stream is not sys.stderr:
             jsonl_stream.close()
@@ -404,13 +553,30 @@ def main(argv: list[str] | None = None) -> int:
         if executed:
             shard_notes.append(f"{executed} {label}")
     shard_note = f" ({', '.join(shard_notes)})" if shard_notes else ""
+    fault_notes = []
+    for field, label in (
+        ("retries", "retries"), ("timeouts", "timeouts"),
+        ("pool_crashes", "pool crashes"), ("quarantined", "quarantined"),
+        ("failed", "failed"),
+    ):
+        count = getattr(stats, field)
+        if count:
+            fault_notes.append(f"{count} {label}")
+    fault_note = f" | faults: {', '.join(fault_notes)}" if fault_notes else ""
     print(
         f"[{', '.join(names)} done in {time.time() - start:.1f}s | "
         f"jobs: {stats.jobs_submitted} submitted, "
         f"{stats.jobs_deduped} deduped, {stats.cache_hits} cached "
         f"({cache.disk_hits} from disk), {stats.executed} executed"
-        f"{shard_note} | workers={engine.workers}]"
+        f"{shard_note}{fault_note} | workers={engine.workers}]"
     )
+    if failures:
+        print(
+            f"warning: {len(failures)} experiment(s) incomplete: "
+            f"{', '.join(sorted(failures))}",
+            file=sys.stderr,
+        )
+        return EXIT_PARTIAL
     return 0
 
 

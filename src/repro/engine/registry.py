@@ -21,10 +21,12 @@ from __future__ import annotations
 
 import importlib
 import inspect
+import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Mapping
 
 from repro.engine.cache import ResultCache
+from repro.engine.faults import ExperimentFailure, JobFailure
 from repro.engine.jobs import EvalJob
 from repro.engine.scheduler import ExperimentEngine
 
@@ -129,13 +131,20 @@ def format_result(name: str, result: Any) -> str:
     to an offline run.  Importing :mod:`repro.eval.reporting` here
     guarantees the formatters are attached no matter which entry point
     (CLI, server, library) asked first.
+
+    An :class:`~repro.engine.faults.ExperimentFailure` (a partial
+    run's failed experiment) renders its failure summary instead —
+    deterministic text, no tracebacks or timings.
     """
+    if isinstance(result, ExperimentFailure):
+        return result.describe()
     importlib.import_module("repro.eval.reporting")
     formatter = get_spec(name).formatter
     return formatter(result) if formatter is not None else repr(result)
 
 
 _default_engine: ExperimentEngine | None = None
+_default_engine_lock = threading.Lock()
 
 
 def default_engine() -> ExperimentEngine:
@@ -143,18 +152,24 @@ def default_engine() -> ExperimentEngine:
 
     Library-level driver wrappers route through this engine, so any
     evaluation is computed at most once per session even when callers
-    never touch the engine API.
+    never touch the engine API.  Construction is guarded by a module
+    lock, so concurrent first callers share one engine (and one
+    cache) instead of racing to build two.
     """
     global _default_engine
-    if _default_engine is None:
-        _default_engine = ExperimentEngine(workers=1, cache=ResultCache())
-    return _default_engine
+    with _default_engine_lock:
+        if _default_engine is None:
+            _default_engine = ExperimentEngine(
+                workers=1, cache=ResultCache()
+            )
+        return _default_engine
 
 
 def reset_default_engine() -> None:
     """Drop the shared engine (tests use this for isolation)."""
     global _default_engine
-    _default_engine = None
+    with _default_engine_lock:
+        _default_engine = None
 
 
 def _accepts_engine(assemble: Assembler) -> bool:
@@ -182,22 +197,45 @@ def assemble_plan(
     return plan.assemble(results)
 
 
+def _plan_failures(
+    plan: ExperimentPlan, results: Mapping[EvalJob, Any]
+) -> tuple[JobFailure, ...]:
+    """The plan's :class:`JobFailure` values, deduped in job order."""
+    failures: dict[EvalJob, JobFailure] = {}
+    for job in plan.jobs:
+        value = results.get(job)
+        if isinstance(value, JobFailure):
+            failures.setdefault(job, value)
+    return tuple(failures.values())
+
+
 def run_plan(
     plan: ExperimentPlan,
     engine: ExperimentEngine | None = None,
     progress: Callable[..., None] | None = None,
+    on_error: str = "raise",
+    name: str = "",
 ) -> Any:
-    """Execute one plan and assemble its result."""
+    """Execute one plan and assemble its result.
+
+    With ``on_error="collect"`` (see :meth:`ExperimentEngine.run`), a
+    plan whose jobs permanently failed returns an
+    :class:`~repro.engine.faults.ExperimentFailure` instead of calling
+    ``assemble`` on an incomplete results mapping.
+    """
     engine = engine if engine is not None else default_engine()
-    return assemble_plan(
-        plan, engine.run(plan.jobs, progress=progress), engine
-    )
+    results = engine.run(plan.jobs, progress=progress, on_error=on_error)
+    failures = _plan_failures(plan, results)
+    if failures:
+        return ExperimentFailure(name=name, failures=failures)
+    return assemble_plan(plan, results, engine)
 
 
 def run_experiments(
     names: Iterable[str],
     engine: ExperimentEngine | None = None,
     progress: Callable[..., None] | None = None,
+    on_error: str = "raise",
     **params: Any,
 ) -> dict[str, Any]:
     """Run several experiments as one deduplicated schedule.
@@ -209,14 +247,27 @@ def run_experiments(
     this schedule only (see :meth:`ExperimentEngine.run`), which is
     how the serving layer keeps concurrent runs' event streams apart.
 
+    ``on_error="collect"`` switches to partial results: experiments
+    untouched by failures assemble normally, while each experiment
+    with a permanently failed job maps to an
+    :class:`~repro.engine.faults.ExperimentFailure` naming the lost
+    jobs (a shared failed job surfaces in every experiment that needed
+    it).  The default ``"raise"`` propagates the first permanent
+    failure, exactly like the engine.
+
     Returns:
-        Mapping from experiment name to its assembled result.
+        Mapping from experiment name to its assembled result (or
+        :class:`ExperimentFailure` in collect mode).
     """
     engine = engine if engine is not None else default_engine()
     plans = {name: get_spec(name).plan(**params) for name in names}
     all_jobs = [job for plan in plans.values() for job in plan.jobs]
-    results = engine.run(all_jobs, progress=progress)
-    return {
-        name: assemble_plan(plan, results, engine)
-        for name, plan in plans.items()
-    }
+    results = engine.run(all_jobs, progress=progress, on_error=on_error)
+    out: dict[str, Any] = {}
+    for name, plan in plans.items():
+        failures = _plan_failures(plan, results)
+        if failures:
+            out[name] = ExperimentFailure(name=name, failures=failures)
+        else:
+            out[name] = assemble_plan(plan, results, engine)
+    return out

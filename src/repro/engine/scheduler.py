@@ -13,6 +13,18 @@ into per-sample-span shards (:mod:`repro.eval.eval_shards`) that
 execute, dedupe, and cache individually and stream ``eval-shard-done``
 partial results as they land.
 
+Execution is fault tolerant (see :mod:`repro.engine.faults`): a
+:class:`~repro.engine.faults.RetryPolicy` re-dispatches failed
+attempts with deterministic backoff, per-job wall-clock timeouts
+reclaim hung workers, and a worker crash (``BrokenProcessPool``) no
+longer aborts the batch — the pool is respawned and only the in-flight
+cohort is re-dispatched, one job at a time so a repeat crash indicts
+exactly one job, which is then quarantined as *poisoned*.  In
+partial-results mode (``run(..., on_error="collect")``) permanently
+failed jobs map to structured :class:`~repro.engine.faults.JobFailure`
+records instead of raising, and the retry lifecycle streams as
+``retrying`` / ``gave-up`` / ``quarantined`` progress events.
+
 The engine is safe to drive from several threads at once — the async
 serving layer (:mod:`repro.serve`) runs many concurrent
 :meth:`ExperimentEngine.run` batches against one engine and one
@@ -24,22 +36,36 @@ interleaved stream of every batch in sequence order.
 
 Because every job is a pure function of its key (see
 :mod:`repro.engine.jobs`), parallel execution is bit-identical to
-serial execution: worker count and completion order influence only
-wall-clock time, never results.
+serial execution: worker count, completion order, retries, and crash
+recovery influence only wall-clock time, never results.
 """
 
 from __future__ import annotations
 
 import itertools
+import logging
 import threading
 import time
+import traceback
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping
 
 from repro.engine.cache import MISS, ResultCache
-from repro.engine.jobs import EvalJob, execute_job
+from repro.engine.faults import (
+    DEFAULT_RETRY_POLICY,
+    JobFailure,
+    JobTimeout,
+    PoisonedJob,
+    RetryPolicy,
+    run_job_attempt,
+    shard_failure,
+)
+from repro.engine.jobs import EvalJob
+
+logger = logging.getLogger("repro.engine")
 
 
 @dataclass(frozen=True)
@@ -47,12 +73,17 @@ class ProgressEvent:
     """One streamed scheduling event.
 
     Attributes:
-        action: ``"cache-hit"``, ``"started"``, ``"completed"``, or
+        action: ``"cache-hit"``, ``"started"``, ``"completed"``,
             ``"eval-shard-done"`` (a sharded cell's span finished —
             streamed *in addition to* the span job's own
-            cache-hit/completed event).
+            cache-hit/completed event), ``"retrying"`` (a failed,
+            timed-out, or crash-interrupted attempt is being
+            re-dispatched), ``"gave-up"`` (the job's attempt budget is
+            exhausted), or ``"quarantined"`` (the job repeatedly
+            killed its worker and is poisoned).
         job: The job the event refers to.
-        completed: Jobs finished so far (including cache hits).
+        completed: Jobs finished so far (including cache hits and
+            permanent failures).
         total: Schedulable units in this batch (sharded cells count
             their spans, not the merged parent).
         elapsed_s: Seconds since the batch started.
@@ -60,7 +91,10 @@ class ProgressEvent:
             running partial result of the shard's parent cell
             (``parent``, ``shards_done``, ``shards_total``,
             ``samples``, ``accuracy``, ``sparsity`` — see
-            :meth:`repro.eval.eval_shards.ShardProgress.as_detail`).
+            :meth:`repro.eval.eval_shards.ShardProgress.as_detail`);
+            for ``retrying`` the attempt counters, backoff, and
+            reason; for ``gave-up``/``quarantined`` the
+            :meth:`~repro.engine.faults.JobFailure.as_detail` payload.
         seq: Engine-wide monotonic sequence number, assigned under the
             emit lock.  Events observed by any single callback are
             strictly increasing in ``seq``; with several concurrent
@@ -91,7 +125,11 @@ class EngineStats:
 
     ``executed`` counts actual evaluation calls; the acceptance
     criterion "a warm-cache re-run performs zero new ``evaluate()``
-    calls" is checked against it.
+    calls" is checked against it.  ``retries`` counts re-dispatches of
+    any flavor (failed attempt, timeout, crash cohort), ``timeouts``
+    hung attempts reclaimed by killing the pool, ``pool_crashes``
+    pool teardowns forced by a worker crash, and ``failed`` /
+    ``quarantined`` permanently failed and poisoned jobs.
     """
 
     jobs_submitted: int = 0
@@ -99,6 +137,11 @@ class EngineStats:
     jobs_deduped: int = 0
     cache_hits: int = 0
     executed: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    pool_crashes: int = 0
+    failed: int = 0
+    quarantined: int = 0
     wall_s: float = 0.0
     executed_by_kind: dict[str, int] = field(default_factory=dict)
 
@@ -109,6 +152,11 @@ class EngineStats:
             "jobs_deduped": self.jobs_deduped,
             "cache_hits": self.cache_hits,
             "executed": self.executed,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "pool_crashes": self.pool_crashes,
+            "failed": self.failed,
+            "quarantined": self.quarantined,
             "wall_s": self.wall_s,
             "executed_by_kind": dict(self.executed_by_kind),
         }
@@ -126,6 +174,11 @@ class EngineStats:
             jobs_deduped=self.jobs_deduped - earlier.jobs_deduped,
             cache_hits=self.cache_hits - earlier.cache_hits,
             executed=self.executed - earlier.executed,
+            retries=self.retries - earlier.retries,
+            timeouts=self.timeouts - earlier.timeouts,
+            pool_crashes=self.pool_crashes - earlier.pool_crashes,
+            failed=self.failed - earlier.failed,
+            quarantined=self.quarantined - earlier.quarantined,
             wall_s=self.wall_s - earlier.wall_s,
             executed_by_kind=by_kind,
         )
@@ -137,9 +190,37 @@ class EngineStats:
             jobs_deduped=self.jobs_deduped,
             cache_hits=self.cache_hits,
             executed=self.executed,
+            retries=self.retries,
+            timeouts=self.timeouts,
+            pool_crashes=self.pool_crashes,
+            failed=self.failed,
+            quarantined=self.quarantined,
             wall_s=self.wall_s,
             executed_by_kind=dict(self.executed_by_kind),
         )
+
+
+@dataclass
+class _JobState:
+    """One pending job's scheduling state across attempts.
+
+    ``dispatches`` counts every hand-off to a worker (it is the
+    attempt number fault plans see, so an injected "kill on attempt 1"
+    cannot re-fire after an unattributed cohort re-dispatch), while
+    ``attempts`` counts only *attributed* failures and is what the
+    retry budget is charged against.  ``crash_attempts`` tracks
+    consecutive worker crashes with exact (singleton) attribution —
+    reaching ``RetryPolicy.max_crash_attempts`` quarantines the job.
+    """
+
+    job: EvalJob
+    started: bool = False
+    dispatches: int = 0
+    attempts: int = 0
+    crash_attempts: int = 0
+    tracebacks: list[str] = field(default_factory=list)
+    not_before: float = 0.0  # monotonic clock gate for backoff
+    deadline: float | None = None  # monotonic wall-clock budget
 
 
 class ExperimentEngine:
@@ -167,6 +248,18 @@ class ExperimentEngine:
             exclude the cell's total sample count, so growing a cell
             re-executes only its new suffix spans.  ``None`` (default)
             schedules whole cells.
+        retry_policy: How failed attempts are retried (the CLI's
+            ``--retries`` / ``--retry-backoff``).  Defaults to
+            :data:`~repro.engine.faults.DEFAULT_RETRY_POLICY` — no
+            exception retries, but worker-crash recovery and the
+            poison-quarantine threshold stay active.
+        job_timeout_s: Per-job wall-clock budget, measured from
+            dispatch (the CLI's ``--job-timeout``).  Enforced on the
+            worker pool: a hung attempt is reclaimed by tearing the
+            pool down (running futures cannot be cancelled), innocent
+            in-flight jobs are re-dispatched without penalty, and the
+            timed-out job is retried or failed per the retry policy.
+            ``None`` (default) disables the budget.
 
     The process pool is created lazily on the first parallel batch and
     reused across :meth:`run` calls — a driver that runs many small
@@ -182,6 +275,8 @@ class ExperimentEngine:
         progress: ProgressCallback | None = None,
         sim_shards: int | None = None,
         eval_shards: int | None = None,
+        retry_policy: RetryPolicy | None = None,
+        job_timeout_s: float | None = None,
     ) -> None:
         self.workers = max(1, int(workers))
         self.cache = cache if cache is not None else ResultCache()
@@ -194,6 +289,15 @@ class ExperimentEngine:
                 f"eval_shards must be >= 1, got {eval_shards}"
             )
         self.eval_shards = eval_shards
+        self.retry_policy = (
+            retry_policy if retry_policy is not None
+            else DEFAULT_RETRY_POLICY
+        )
+        if job_timeout_s is not None and job_timeout_s <= 0:
+            raise ValueError(
+                f"job_timeout_s must be > 0, got {job_timeout_s}"
+            )
+        self.job_timeout_s = job_timeout_s
         self.stats = EngineStats()
         self._pool: ProcessPoolExecutor | None = None
         # One reentrant lock guards the counters, the pool handle, and
@@ -211,9 +315,9 @@ class ExperimentEngine:
         Subscribers see every event from every batch (all concurrent
         :meth:`run` calls), delivered under the emit lock in strictly
         increasing ``seq`` order.  A subscriber that raises is dropped
-        — a broken monitor must not kill unrelated runs.  Per-batch
-        streaming belongs in :meth:`run`'s ``progress`` argument
-        instead.
+        (with a logged warning) — a broken monitor must not kill
+        unrelated runs.  Per-batch streaming belongs in :meth:`run`'s
+        ``progress`` argument instead.
         """
         with self._lock:
             token = next(self._subscriber_tokens)
@@ -253,6 +357,20 @@ class ExperimentEngine:
                 self.stats.executed_by_kind.get(job.kind, 0) + 1
             )
 
+    def _note_retry(self) -> None:
+        with self._lock:
+            self.stats.retries += 1
+
+    def _note_pool_crash(self) -> None:
+        with self._lock:
+            self.stats.pool_crashes += 1
+
+    @staticmethod
+    def _format_exception(exc: BaseException) -> str:
+        return "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        )
+
     def _emit(
         self, action: str, job: EvalJob, completed: int, total: int,
         start: float, detail: Any = None,
@@ -266,7 +384,7 @@ class ExperimentEngine:
         the constructor.  :meth:`subscribe` observers are notified
         under the emit lock so each sees a strictly ``seq``-ordered
         stream even across concurrent batches; a subscriber that
-        raises is dropped.
+        raises is dropped with a logged warning.
         """
         if (
             progress is None
@@ -285,33 +403,159 @@ class ExperimentEngine:
                     callback(event)
                 except Exception:
                     self._subscribers.pop(token, None)
+                    logger.warning(
+                        "dropping progress subscriber %d after its "
+                        "callback raised",
+                        token, exc_info=True,
+                    )
         for callback in (progress, self.progress):
             if callback is not None:
                 callback(event)
 
+    def _record_permanent(
+        self, state: _JobState, kind: str, exc: BaseException | None,
+        results: dict[EvalJob, Any], failures: dict[EvalJob, JobFailure],
+        total: int, start: float,
+        progress: ProgressCallback | None, on_error: str,
+    ) -> None:
+        """Register a job's terminal failure; raise in raise-mode."""
+        attempts = (
+            state.crash_attempts if kind == "poisoned" else state.attempts
+        )
+        failure = JobFailure(
+            job=state.job, kind=kind, attempts=attempts,
+            tracebacks=tuple(state.tracebacks),
+        )
+        with self._lock:
+            self.stats.failed += 1
+            if kind == "poisoned":
+                self.stats.quarantined += 1
+        failures[state.job] = failure
+        action = "quarantined" if kind == "poisoned" else "gave-up"
+        self._emit(
+            action, state.job, len(results) + len(failures), total,
+            start, detail=failure.as_detail(), progress=progress,
+        )
+        if on_error == "raise":
+            raise exc if exc is not None else PoisonedJob(failure)
+
     def _run_serial(
         self, pending: list[EvalJob], results: dict[EvalJob, Any],
-        total: int, start: float,
+        failures: dict[EvalJob, JobFailure], total: int, start: float,
         on_done: Callable[[EvalJob, Any, int], None] | None = None,
         progress: ProgressCallback | None = None,
+        on_error: str = "raise",
     ) -> None:
         for job in pending:
-            self._emit("started", job, len(results), total, start,
-                       progress=progress)
-            payload = execute_job(job)
-            self._note_executed(job)
-            self.cache.put(job, payload)
-            results[job] = payload
-            self._emit("completed", job, len(results), total, start,
-                       progress=progress)
+            self._execute_serial_state(
+                _JobState(job=job), results, failures, total, start,
+                on_done, progress, on_error,
+            )
+
+    def _execute_serial_state(
+        self, state: _JobState, results: dict[EvalJob, Any],
+        failures: dict[EvalJob, JobFailure], total: int, start: float,
+        on_done: Callable[[EvalJob, Any, int], None] | None,
+        progress: ProgressCallback | None, on_error: str,
+    ) -> None:
+        """Drive one job (possibly mid-retry, when the pool degraded
+        to in-process execution) to completion or permanent failure."""
+        policy = self.retry_policy
+        while True:
+            if not state.started:
+                state.started = True
+                self._emit(
+                    "started", state.job, len(results) + len(failures),
+                    total, start, progress=progress,
+                )
+            state.dispatches += 1
+            try:
+                payload = run_job_attempt(
+                    state.job, state.dispatches, in_worker=False
+                )
+            except Exception as exc:
+                state.attempts += 1
+                state.crash_attempts = 0
+                state.tracebacks.append(self._format_exception(exc))
+                kind = (
+                    "timeout" if isinstance(exc, JobTimeout) else "error"
+                )
+                if not policy.should_retry(exc, state.attempts):
+                    self._record_permanent(
+                        state, kind, exc, results, failures, total,
+                        start, progress, on_error,
+                    )
+                    return
+                delay = policy.delay_s(state.job, state.attempts)
+                self._note_retry()
+                self._emit(
+                    "retrying", state.job,
+                    len(results) + len(failures), total, start,
+                    detail={
+                        "attempt": state.attempts,
+                        "max_attempts": policy.max_attempts,
+                        "delay_s": delay,
+                        "reason": f"{type(exc).__name__}: {exc}",
+                    },
+                    progress=progress,
+                )
+                if delay > 0:
+                    time.sleep(delay)
+                continue
+            self._note_executed(state.job)
+            self.cache.put(state.job, payload)
+            results[state.job] = payload
+            done = len(results) + len(failures)
+            self._emit(
+                "completed", state.job, done, total, start,
+                progress=progress,
+            )
             if on_done is not None:
-                on_done(job, payload, len(results))
+                on_done(state.job, payload, done)
+            return
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         with self._lock:
             if self._pool is None:
                 self._pool = ProcessPoolExecutor(max_workers=self.workers)
             return self._pool
+
+    def _respawn_pool(self) -> ProcessPoolExecutor | None:
+        """(Re)build the pool; ``None`` means degrade to serial."""
+        try:
+            return self._ensure_pool()
+        except Exception:
+            logger.warning(
+                "worker pool could not be rebuilt; degrading to serial "
+                "in-process execution", exc_info=True,
+            )
+            return None
+
+    def _discard_pool(
+        self, pool: ProcessPoolExecutor, terminate: bool = False
+    ) -> None:
+        """Drop a broken/poisoned pool so the next use starts fresh.
+
+        ``terminate`` additionally SIGTERMs the worker processes —
+        required when reclaiming a hung worker, whose running future
+        can never be cancelled.
+        """
+        with self._lock:
+            if self._pool is pool:
+                self._pool = None
+        processes = list(
+            (getattr(pool, "_processes", None) or {}).values()
+        )
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+        if terminate:
+            for proc in processes:
+                try:
+                    proc.terminate()
+                except Exception:
+                    pass
 
     def warm_up(self) -> None:
         """Start the worker pool now instead of on the first batch.
@@ -330,52 +574,338 @@ class ExperimentEngine:
 
     def _run_pool(
         self, pending: list[EvalJob], results: dict[EvalJob, Any],
-        total: int, start: float,
+        failures: dict[EvalJob, JobFailure], total: int, start: float,
         on_done: Callable[[EvalJob, Any, int], None] | None = None,
         progress: ProgressCallback | None = None,
+        on_error: str = "raise",
     ) -> None:
-        pool = self._ensure_pool()
-        futures: dict[Any, EvalJob] = {}
-        try:
-            for job in pending:
-                futures[pool.submit(execute_job, job)] = job
-                self._emit("started", job, len(results), total, start,
-                           progress=progress)
-            outstanding = set(futures)
-            while outstanding:
-                done, outstanding = wait(
-                    outstanding, return_when=FIRST_COMPLETED
+        """The resilient dispatch loop.
+
+        Jobs are dispatched through a bounded in-flight window of
+        ``workers`` futures (so dispatch ≈ start, which keeps per-job
+        deadlines honest and crash cohorts small), collected as they
+        finish, and retried per the engine's :class:`RetryPolicy`.
+        A worker crash tears the pool down and re-dispatches the
+        in-flight cohort through an *isolation* queue — one job at a
+        time — so a repeat crash indicts exactly one job; hung jobs
+        are reclaimed by terminating the pool and re-dispatching the
+        innocent bystanders without penalty.  If the pool cannot be
+        (re)built at all, the remaining jobs degrade to serial
+        in-process execution.
+        """
+        policy = self.retry_policy
+        ready: deque[_JobState] = deque(
+            _JobState(job=job) for job in pending
+        )
+        isolation: deque[_JobState] = deque()
+        inflight: dict[Any, _JobState] = {}
+        pool: ProcessPoolExecutor | None = None
+
+        def completed_count() -> int:
+            return len(results) + len(failures)
+
+        def dispatch(state: _JobState) -> None:
+            if not state.started:
+                state.started = True
+                self._emit(
+                    "started", state.job, completed_count(), total,
+                    start, progress=progress,
                 )
-                for future in done:
-                    job = futures[future]
-                    payload = future.result()
-                    self._note_executed(job)
-                    self.cache.put(job, payload)
-                    results[job] = payload
-                    self._emit(
-                        "completed", job, len(results), total, start,
-                        progress=progress,
+            future = pool.submit(
+                run_job_attempt, state.job, state.dispatches + 1, True
+            )
+            state.dispatches += 1
+            state.deadline = (
+                time.monotonic() + self.job_timeout_s
+                if self.job_timeout_s is not None else None
+            )
+            inflight[future] = state
+
+        def emit_retrying(
+            state: _JobState, delay: float, reason: str
+        ) -> None:
+            self._note_retry()
+            self._emit(
+                "retrying", state.job, completed_count(), total, start,
+                detail={
+                    "attempt": state.attempts,
+                    "max_attempts": policy.max_attempts,
+                    "delay_s": delay,
+                    "reason": reason,
+                },
+                progress=progress,
+            )
+
+        def settle(state: _JobState, payload: Any) -> None:
+            self._note_executed(state.job)
+            self.cache.put(state.job, payload)
+            results[state.job] = payload
+            self._emit(
+                "completed", state.job, completed_count(), total, start,
+                progress=progress,
+            )
+            if on_done is not None:
+                on_done(state.job, payload, completed_count())
+
+        def handle_error(state: _JobState, exc: BaseException) -> None:
+            state.attempts += 1
+            state.crash_attempts = 0
+            state.deadline = None
+            state.tracebacks.append(self._format_exception(exc))
+            kind = "timeout" if isinstance(exc, JobTimeout) else "error"
+            if not policy.should_retry(exc, state.attempts):
+                self._record_permanent(
+                    state, kind, exc, results, failures, total, start,
+                    progress, on_error,
+                )
+                return
+            delay = policy.delay_s(state.job, state.attempts)
+            state.not_before = time.monotonic() + delay
+            emit_retrying(state, delay, f"{type(exc).__name__}: {exc}")
+            ready.append(state)
+
+        def collect(future: Any, state: _JobState) -> bool:
+            """Fold one finished future in; True if the pool crashed."""
+            try:
+                payload = future.result()
+            except BrokenProcessPool:
+                return True
+            except Exception as exc:
+                handle_error(state, exc)
+                return False
+            settle(state, payload)
+            return False
+
+        def requeue_inflight(
+            target: deque[_JobState], front: bool = True
+        ) -> None:
+            """Re-dispatch every in-flight job without penalty."""
+            states = list(inflight.values())
+            for future in list(inflight):
+                future.cancel()
+            inflight.clear()
+            for state in states:
+                state.deadline = None
+            if front:
+                for state in reversed(states):
+                    target.appendleft(state)
+            else:
+                target.extend(states)
+
+        try:
+            while ready or isolation or inflight:
+                if pool is None and (ready or isolation):
+                    pool = self._respawn_pool()
+                    if pool is None:
+                        # Graceful degradation: finish everything
+                        # serially, preserving per-job retry state.
+                        leftovers = list(isolation) + list(ready)
+                        isolation.clear()
+                        ready.clear()
+                        for state in leftovers:
+                            state.deadline = None
+                            self._execute_serial_state(
+                                state, results, failures, total, start,
+                                on_done, progress, on_error,
+                            )
+                        return
+
+                # -- dispatch ---------------------------------------
+                now = time.monotonic()
+                gate: float | None = None  # earliest backoff release
+                try:
+                    if isolation:
+                        # Crash-cohort attribution: dispatch exactly
+                        # one suspect at a time, alone in the pool.
+                        if not inflight:
+                            state = isolation[0]
+                            if state.not_before <= now:
+                                dispatch(state)
+                                isolation.popleft()
+                            else:
+                                gate = state.not_before
+                    else:
+                        blocked: list[_JobState] = []
+                        try:
+                            while (
+                                ready
+                                and len(inflight) < self.workers
+                            ):
+                                state = ready[0]
+                                if state.not_before <= now:
+                                    dispatch(state)
+                                    ready.popleft()
+                                else:
+                                    blocked.append(ready.popleft())
+                                    if (
+                                        gate is None
+                                        or state.not_before < gate
+                                    ):
+                                        gate = state.not_before
+                        finally:
+                            for state in reversed(blocked):
+                                ready.appendleft(state)
+                except BrokenProcessPool:
+                    # The pool broke while idle (a worker died between
+                    # batches): recycle it and re-dispatch in-flight
+                    # jobs without penalty.
+                    self._note_pool_crash()
+                    requeue_inflight(ready)
+                    self._discard_pool(pool)
+                    pool = None
+                    continue
+
+                # -- wait -------------------------------------------
+                if not inflight:
+                    if gate is not None:
+                        pause = max(0.0, gate - time.monotonic())
+                        time.sleep(min(pause, 0.5))
+                    continue
+                timeout = None
+                if self.job_timeout_s is not None:
+                    nearest = min(
+                        (
+                            s.deadline for s in inflight.values()
+                            if s.deadline is not None
+                        ),
+                        default=None,
                     )
-                    if on_done is not None:
-                        on_done(job, payload, len(results))
-        except BrokenProcessPool:
-            # Release the broken executor's bookkeeping threads and let
-            # the next run start a fresh pool.
-            pool.shutdown(wait=False)
-            with self._lock:
-                if self._pool is pool:
-                    self._pool = None
-            raise
+                    if nearest is not None:
+                        timeout = max(
+                            0.0, nearest - time.monotonic()
+                        )
+                if gate is not None:
+                    pause = max(0.0, gate - time.monotonic())
+                    timeout = (
+                        pause if timeout is None
+                        else min(timeout, pause)
+                    )
+                done, _ = wait(
+                    set(inflight), timeout=timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+
+                # -- collect ----------------------------------------
+                crashed: list[_JobState] = []
+                for future in done:
+                    state = inflight.pop(future)
+                    if collect(future, state):
+                        crashed.append(state)
+
+                if crashed:
+                    # A worker crash kills the whole pool: everything
+                    # still in flight died with it and joins the
+                    # cohort.
+                    self._note_pool_crash()
+                    crashed.extend(inflight.values())
+                    for future in list(inflight):
+                        future.cancel()
+                    inflight.clear()
+                    self._discard_pool(pool)
+                    pool = None
+                    if len(crashed) == 1:
+                        # Singleton cohort: attribution is exact.
+                        state = crashed[0]
+                        state.deadline = None
+                        state.crash_attempts += 1
+                        state.tracebacks.append(
+                            "worker crashed (BrokenProcessPool) on "
+                            f"dispatch {state.dispatches}"
+                        )
+                        if (
+                            state.crash_attempts
+                            >= policy.max_crash_attempts
+                        ):
+                            self._record_permanent(
+                                state, "poisoned", None, results,
+                                failures, total, start, progress,
+                                on_error,
+                            )
+                        else:
+                            delay = policy.delay_s(
+                                state.job, state.crash_attempts
+                            )
+                            state.not_before = (
+                                time.monotonic() + delay
+                            )
+                            emit_retrying(state, delay, "worker-crash")
+                            isolation.append(state)
+                    else:
+                        # Cohort of several: the culprit is unknown,
+                        # so nobody is charged; re-dispatch one at a
+                        # time so a repeat crash indicts exactly one
+                        # job.
+                        for state in crashed:
+                            state.deadline = None
+                            emit_retrying(state, 0.0, "worker-lost")
+                            isolation.append(state)
+                    continue
+
+                # -- timeouts ---------------------------------------
+                if self.job_timeout_s is not None and inflight:
+                    now = time.monotonic()
+                    expired = [
+                        (future, state)
+                        for future, state in inflight.items()
+                        if state.deadline is not None
+                        and now >= state.deadline
+                    ]
+                    hung: list[_JobState] = []
+                    for future, state in expired:
+                        if future.cancel():
+                            # Never started: back in line, no penalty.
+                            inflight.pop(future)
+                            state.deadline = None
+                            ready.appendleft(state)
+                            continue
+                        inflight.pop(future)
+                        hung.append(state)
+                    if hung:
+                        # A running future cannot be cancelled:
+                        # reclaim the workers by terminating the pool,
+                        # then re-dispatch the innocent in-flight jobs
+                        # without penalty.
+                        with self._lock:
+                            self.stats.timeouts += len(hung)
+                        requeue_inflight(ready)
+                        self._discard_pool(pool, terminate=True)
+                        pool = None
+                        for state in hung:
+                            state.attempts += 1
+                            state.crash_attempts = 0
+                            state.deadline = None
+                            exc = JobTimeout(
+                                f"{state.job.describe()} exceeded "
+                                f"{self.job_timeout_s:g}s wall clock "
+                                f"(attempt {state.attempts})"
+                            )
+                            state.tracebacks.append(
+                                f"JobTimeout: {exc}"
+                            )
+                            if policy.should_retry(
+                                exc, state.attempts
+                            ):
+                                delay = policy.delay_s(
+                                    state.job, state.attempts
+                                )
+                                state.not_before = (
+                                    time.monotonic() + delay
+                                )
+                                emit_retrying(state, delay, "timeout")
+                                ready.append(state)
+                            else:
+                                self._record_permanent(
+                                    state, "timeout", exc, results,
+                                    failures, total, start, progress,
+                                    on_error,
+                                )
         except BaseException:
             # Quiesce the batch before propagating (what the old
             # pool-per-run `with` block guaranteed): no orphan futures
             # keep the persistent pool busy behind the caller's back.
-            # `futures` covers everything submitted, including jobs
-            # submitted before an error mid-loop; waiting on finished
-            # futures is free.
-            for future in futures:
+            for future in inflight:
                 future.cancel()
-            wait(set(futures))
+            wait(set(inflight))
             raise
 
     # -- public API --------------------------------------------------
@@ -384,6 +914,8 @@ class ExperimentEngine:
         self,
         jobs: Iterable[EvalJob],
         progress: ProgressCallback | None = None,
+        *,
+        on_error: str = "raise",
     ) -> Mapping[EvalJob, Any]:
         """Execute a job batch; return payloads keyed by job.
 
@@ -400,6 +932,17 @@ class ExperimentEngine:
         awaited — without touching the others, which is how the async
         serving layer implements cancellation.
 
+        ``on_error`` selects the failure mode once a job's retry
+        budget (see ``retry_policy``) is exhausted: ``"raise"``
+        (default) propagates the final exception — or
+        :class:`~repro.engine.faults.PoisonedJob` for a quarantined
+        job — after quiescing the batch, exactly like the pre-retry
+        engine; ``"collect"`` records a structured
+        :class:`~repro.engine.faults.JobFailure` *as the job's value
+        in the returned mapping* and keeps going, so one bad job
+        costs one result, not the batch.  Worker-crash recovery and
+        timeouts apply in both modes.
+
         With ``eval_shards`` set, whole-cell ``eval`` jobs that miss
         the cache are split into per-sample-span ``eval-shard`` jobs,
         which dedupe and cache individually (two cells covering the
@@ -408,8 +951,14 @@ class ExperimentEngine:
         its cell's running partial result; the merged cell — re-folded
         in global sample order, bit-identical to serial evaluation —
         is stored back under the whole-cell key and returned alongside
-        the span results.
+        the span results.  In collect mode a cell with failed spans
+        maps to a ``shards-failed`` :class:`JobFailure` naming them.
         """
+        if on_error not in ("raise", "collect"):
+            raise ValueError(
+                f'on_error must be "raise" or "collect", '
+                f"got {on_error!r}"
+            )
         start = time.perf_counter()
         submitted = list(jobs)
         unique: dict[EvalJob, None] = {}
@@ -429,6 +978,7 @@ class ExperimentEngine:
             from repro.eval import eval_shards as shard_lib
 
         results: dict[EvalJob, Any] = {}
+        failures: dict[EvalJob, JobFailure] = {}
         hits: list[EvalJob] = []
         pending: list[EvalJob] = []
         plans: dict[EvalJob, tuple[EvalJob, ...]] = {}
@@ -495,21 +1045,47 @@ class ExperimentEngine:
 
         if pending:
             on_done = note_shard_done if plans else None
-            if self.workers == 1 or len(pending) == 1:
+            # A single pending job still goes through the pool when a
+            # timeout is set — wall-clock budgets are unenforceable
+            # in-process.
+            if self.workers == 1 or (
+                len(pending) == 1 and self.job_timeout_s is None
+            ):
                 self._run_serial(
-                    pending, results, total, start, on_done, progress
+                    pending, results, failures, total, start, on_done,
+                    progress, on_error,
                 )
             else:
                 self._run_pool(
-                    pending, results, total, start, on_done, progress
+                    pending, results, failures, total, start, on_done,
+                    progress, on_error,
                 )
 
         for parent, shards in plans.items():
+            failed = [
+                failures[shard] for shard in shards if shard in failures
+            ]
+            if failed:
+                # The cell cannot be merged; surface a parent-level
+                # failure naming the lost spans (collect mode only —
+                # raise mode never reaches the merge step).
+                parent_failure = shard_failure(parent, failed)
+                failures[parent] = parent_failure
+                self._emit(
+                    "gave-up", parent,
+                    min(len(results) + len(failures), total), total,
+                    start, detail=parent_failure.as_detail(),
+                    progress=progress,
+                )
+                continue
             merged = shard_lib.merge_eval_shards(
                 parent, [results[shard] for shard in shards]
             )
             self.cache.put(parent, merged)
             results[parent] = merged
+
+        if failures:
+            results.update(failures)
 
         with self._lock:
             self.stats.wall_s += time.perf_counter() - start

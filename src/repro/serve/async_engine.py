@@ -29,6 +29,7 @@ import threading
 from typing import Any, AsyncIterator
 
 from repro.engine import registry
+from repro.engine.faults import ExperimentFailure
 from repro.engine.scheduler import ExperimentEngine, ProgressEvent
 
 DEFAULT_QUEUE_SIZE = 256
@@ -69,9 +70,11 @@ class AsyncRun:
         names: list[str],
         params: dict[str, Any],
         queue_size: int = DEFAULT_QUEUE_SIZE,
+        on_error: str = "raise",
     ) -> None:
         self.names = list(names)
         self.params = dict(params)
+        self.on_error = on_error
         self._engine = engine
         self._loop = asyncio.get_running_loop()
         self._queue: asyncio.Queue = asyncio.Queue()
@@ -113,7 +116,7 @@ class AsyncRun:
             raise RunCancelled(f"run of {self.names} cancelled")
         return registry.run_experiments(
             self.names, self._engine, progress=self._on_event,
-            **self.params,
+            on_error=self.on_error, **self.params,
         )
 
     # -- loop side ----------------------------------------------------
@@ -131,6 +134,29 @@ class AsyncRun:
     def done(self) -> bool:
         """Whether the engine thread has finished (any outcome)."""
         return self._future.done()
+
+    @property
+    def state(self) -> str:
+        """The run's lifecycle state: ``"running"`` while the engine
+        thread works, then a terminal one of ``"cancelled"``,
+        ``"failed"``, ``"partial"`` (an ``on_error="collect"`` run
+        finished but some experiments carry
+        :class:`~repro.engine.faults.ExperimentFailure`), or
+        ``"done"``."""
+        if not self._future.done():
+            return "running"
+        if self._future.cancelled():
+            return "cancelled"
+        exc = self._future.exception()
+        if exc is not None:
+            return "cancelled" if isinstance(exc, RunCancelled) else "failed"
+        results = self._future.result()
+        if any(
+            isinstance(value, ExperimentFailure)
+            for value in results.values()
+        ):
+            return "partial"
+        return "done"
 
     async def events(self) -> AsyncIterator[ProgressEvent]:
         """Stream this run's :class:`ProgressEvent`s in engine order.
@@ -191,17 +217,28 @@ class AsyncExperimentEngine:
         self.engine = engine if engine is not None else ExperimentEngine()
         self.queue_size = queue_size
 
-    def launch(self, names: list[str], **params: Any) -> AsyncRun:
+    def launch(
+        self, names: list[str], on_error: str = "raise", **params: Any
+    ) -> AsyncRun:
         """Start one run (requires a running event loop).
 
         ``params`` go to every plan factory (``num_samples``, ``seed``,
         ``matcher``, ...).  Unknown experiment names raise ``KeyError``
-        here, before anything is scheduled.
+        here, before anything is scheduled.  ``on_error="collect"``
+        selects partial-results mode (see
+        :meth:`ExperimentEngine.run`); the run then terminates in
+        state ``"partial"`` instead of ``"failed"`` when jobs were
+        permanently lost.
         """
+        if on_error not in ("raise", "collect"):
+            raise ValueError(
+                f'on_error must be "raise" or "collect", got {on_error!r}'
+            )
         for name in names:
             registry.get_spec(name)  # validate eagerly
         return AsyncRun(
-            self.engine, names, params, queue_size=self.queue_size
+            self.engine, names, params, queue_size=self.queue_size,
+            on_error=on_error,
         )
 
     async def run(

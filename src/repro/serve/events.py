@@ -18,22 +18,31 @@ Each event is one JSON object with at least:
     ``"progress"`` for engine :class:`~repro.engine.scheduler.
     ProgressEvent` wrappers, one of the run-lifecycle names
     (``run-started`` and the :data:`TERMINAL_EVENTS`:
-    ``run-done`` / ``run-failed`` / ``run-cancelled``), or ``"gap"``
-    (:func:`encode_gap`) when a replay hole could not be bridged.
+    ``run-done`` / ``run-partial`` / ``run-failed`` /
+    ``run-cancelled``), or ``"gap"`` (:func:`encode_gap`) when a
+    replay hole could not be bridged.
 ``seq``
     The engine's monotonic sequence number for progress events; ``0``
     for lifecycle events (their ordering comes from the per-run log
     ``id`` the server assigns at append time).
 
 Progress events add ``action`` (``cache-hit`` / ``started`` /
-``completed`` / ``eval-shard-done``), the encoded ``job`` (kind,
-model, dataset, method, sample count, seed, config digest, quantized
-flag, extras, content address, human label), the batch counters
-``completed`` / ``total``, ``elapsed_s``, and the action-specific
-``detail`` payload (for ``eval-shard-done``, the parent cell's running
-accuracy/sparsity).  All payloads are pre-flattened to JSON-native
+``completed`` / ``eval-shard-done`` plus the fault-tolerance
+lifecycle ``retrying`` / ``gave-up`` / ``quarantined``), the encoded
+``job`` (kind, model, dataset, method, sample count, seed, config
+digest, quantized flag, extras, content address, human label), the
+batch counters ``completed`` / ``total``, ``elapsed_s``, and the
+action-specific ``detail`` payload (for ``eval-shard-done``, the
+parent cell's running accuracy/sparsity; for the fault actions, the
+retry counters or the structured :class:`~repro.engine.faults.
+JobFailure` record).  All payloads are pre-flattened to JSON-native
 types (tuples to lists, NumPy scalars to Python numbers) so
 ``json.dumps`` round-trips them losslessly.
+
+Schema history: v1 had neither the fault-action progress events nor
+``run-partial``; v2 added both.  :func:`parse_event` accepts any
+schema up to its own version, so v1 streams stored by older builds
+still replay.
 """
 
 from __future__ import annotations
@@ -47,13 +56,16 @@ import numpy as np
 from repro.engine.jobs import EvalJob, config_digest
 from repro.engine.scheduler import ProgressEvent
 
-EVENT_SCHEMA_VERSION = 1
+EVENT_SCHEMA_VERSION = 2
 """Bumped whenever the event wire format changes incompatibly."""
 
-PROGRESS_ACTIONS = ("cache-hit", "started", "completed", "eval-shard-done")
+PROGRESS_ACTIONS = (
+    "cache-hit", "started", "completed", "eval-shard-done",
+    "retrying", "gave-up", "quarantined",
+)
 """Every ``action`` the engine scheduler emits."""
 
-TERMINAL_EVENTS = ("run-done", "run-failed", "run-cancelled")
+TERMINAL_EVENTS = ("run-done", "run-partial", "run-failed", "run-cancelled")
 """Event names that end a run's stream; nothing follows them."""
 
 
@@ -151,6 +163,31 @@ def encode_run_done(
             name: {"sha256": report_digest(text), "chars": len(text)}
             for name, text in reports.items()
         },
+    )
+
+
+def encode_run_partial(
+    run_id: str,
+    reports: Mapping[str, str],
+    failures: Mapping[str, Any],
+    elapsed_s: float,
+) -> dict[str, Any]:
+    """Terminal partial-success event (``on_error="collect"`` runs).
+
+    Carries the same per-report content digests as ``run-done`` —
+    failed experiments' reports are their deterministic failure
+    summaries — plus ``failures``: per failed experiment, the list of
+    structured :meth:`~repro.engine.faults.JobFailure.as_detail`
+    records (job key, kind, attempts, tracebacks).
+    """
+    return _lifecycle(
+        "run-partial", run_id,
+        elapsed_s=float(elapsed_s),
+        reports={
+            name: {"sha256": report_digest(text), "chars": len(text)}
+            for name, text in reports.items()
+        },
+        failures=jsonify(dict(failures)),
     )
 
 

@@ -6,9 +6,13 @@ their live event streams out to any number of clients:
 
 ``POST /runs``
     Launch a run.  JSON body: ``{"experiments": ["table2", ...],
-    "samples": N, "seed": S, "matcher": "wavefront"}`` (everything but
-    ``experiments`` optional).  Responds ``201`` with the run id and
-    the events/result URLs.  All runs share one
+    "samples": N, "seed": S, "matcher": "wavefront",
+    "on_error": "raise"|"collect"}`` (everything but ``experiments``
+    optional).  ``on_error: "collect"`` selects partial-results mode:
+    jobs that permanently fail (see :mod:`repro.engine.faults`) cost
+    their experiment, not the run, which then terminates with a
+    ``run-partial`` event and status ``partial``.  Responds ``201``
+    with the run id and the events/result URLs.  All runs share one
     :class:`~repro.engine.scheduler.ExperimentEngine` and one
     :class:`~repro.engine.cache.ResultCache`: a spec overlapping any
     *finished* run is served from the cache; runs launched
@@ -55,6 +59,7 @@ from typing import Any, Iterable
 from urllib.parse import parse_qs, urlsplit
 
 from repro.engine import registry
+from repro.engine.faults import ExperimentFailure
 from repro.serve import events as codec
 from repro.serve.async_engine import (
     AsyncExperimentEngine,
@@ -196,9 +201,11 @@ class Run:
     params: dict[str, Any]
     log: RunLog
     handle: AsyncRun
-    status: str = "running"  # running | done | failed | cancelled
+    status: str = "running"  # running | done | partial | failed | cancelled
+    on_error: str = "raise"
     error: str | None = None
     reports: dict[str, str] = field(default_factory=dict)
+    failures: dict[str, Any] = field(default_factory=dict)
     started: float = field(default_factory=time.monotonic)
     pump: asyncio.Task | None = None
 
@@ -208,8 +215,10 @@ class Run:
             "status": self.status,
             "experiments": list(self.experiments),
             "params": codec.jsonify(self.params),
+            "on_error": self.on_error,
             "events_logged": self.log.last_id,
             "error": self.error,
+            "failed_experiments": sorted(self.failures),
             "events_url": f"/runs/{self.run_id}/events",
             "result_url": f"/runs/{self.run_id}/result",
         }
@@ -295,6 +304,12 @@ class ServeApp:
             ) from None
         if spec.get("matcher") is not None:
             params["matcher"] = str(spec["matcher"])
+        on_error = spec.get("on_error", "raise")
+        if on_error not in ("raise", "collect"):
+            raise HttpError(
+                400, "'on_error' must be \"raise\" or \"collect\", "
+                f"got {on_error!r}"
+            )
 
         self._evict_finished_runs()
         run_id = secrets.token_hex(8)
@@ -304,8 +319,11 @@ class ServeApp:
             run_id=run_id,
             experiments=list(names),
             params=params,
+            on_error=on_error,
             log=RunLog(self.ring_size, store=self.store, run_id=run_id),
-            handle=self.engine.launch(list(names), **params),
+            handle=self.engine.launch(
+                list(names), on_error=on_error, **params
+            ),
         )
         self.runs[run_id] = run
         await run.log.append(
@@ -339,14 +357,28 @@ class ServeApp:
             name: registry.format_result(name, results[name])
             for name in run.experiments
         }
-        run.status = "done"
-        await run.log.append(codec.encode_run_done(
-            run.run_id, run.reports, time.monotonic() - run.started
-        ))
+        run.failures = {
+            name: result.as_detail()
+            for name, result in results.items()
+            if isinstance(result, ExperimentFailure)
+        }
+        elapsed = time.monotonic() - run.started
+        if run.failures:
+            # Collect-mode run with permanently failed jobs: partial.
+            run.status = "partial"
+            await run.log.append(codec.encode_run_partial(
+                run.run_id, run.reports, run.failures, elapsed
+            ))
+        else:
+            run.status = "done"
+            await run.log.append(codec.encode_run_done(
+                run.run_id, run.reports, elapsed
+            ))
         self._persist_outcome(run)
 
     def _persist_outcome(self, run: Run) -> None:
-        """Record a terminal run's status and reports in the store."""
+        """Record a terminal run's status, reports, and failures in
+        the store."""
         if self.store is None:
             return
         try:
@@ -354,6 +386,7 @@ class ServeApp:
                 run.run_id, run.status,
                 elapsed_s=time.monotonic() - run.started,
                 error=run.error, reports=run.reports,
+                failures=run.failures or None,
             )
         except Exception as exc:
             print(
@@ -385,6 +418,7 @@ class ServeApp:
             "params": info["params"],
             "events_logged": info["last_event_id"],
             "error": info["error"],
+            "failed_experiments": sorted(info.get("failures") or {}),
             "stored": True,
             "events_url": f"/runs/{info['run_id']}/events",
             "result_url": f"/runs/{info['run_id']}/result",
@@ -535,7 +569,7 @@ class ServeApp:
             raise HttpError(410, f"run {run.run_id} was cancelled")
         if run.status == "failed":
             raise HttpError(500, f"run {run.run_id} failed: {run.error}")
-        await self._respond_json(writer, 200, {
+        payload = {
             "run_id": run.run_id,
             "status": run.status,
             "experiments": run.reports,
@@ -546,7 +580,10 @@ class ServeApp:
                 }
                 for name, text in run.reports.items()
             },
-        })
+        }
+        if run.status == "partial":
+            payload["failures"] = codec.jsonify(run.failures)
+        await self._respond_json(writer, 200, payload)
 
     @staticmethod
     def _parse_stream_query(
@@ -642,13 +679,16 @@ class ServeApp:
             raise HttpError(
                 500, f"run {run_id} failed: {info['error']}"
             )
-        await self._respond_json(writer, 200, {
+        payload = {
             "run_id": run_id,
             "status": info["status"],
             "stored": True,
             "experiments": self.store.reports(run_id),
             "reports": self.store.report_digests(run_id),
-        })
+        }
+        if info["status"] == "partial":
+            payload["failures"] = info.get("failures") or {}
+        await self._respond_json(writer, 200, payload)
 
     @staticmethod
     def _header_block(status: int, content_type: str) -> bytes:
@@ -739,17 +779,35 @@ def build_parser() -> argparse.ArgumentParser:
         description="Serve experiment runs over HTTP with SSE/JSON-lines "
                     "progress streaming.",
     )
+    from repro.cli import (  # no cycle: cli loads serve lazily
+        nonnegative_float,
+        nonnegative_int,
+        positive_float,
+    )
+
     parser.add_argument("--host", default="127.0.0.1",
                         help="bind address (default: 127.0.0.1)")
     parser.add_argument("--port", type=int, default=DEFAULT_PORT,
                         help=f"TCP port (default: {DEFAULT_PORT})")
-    parser.add_argument("--workers", type=int, default=1,
-                        help="engine worker processes shared by all runs")
-    parser.add_argument("--sim-shards", type=int, default=None,
-                        help="shards per trace-simulation batch")
-    parser.add_argument("--eval-shards", type=int, default=None,
+    parser.add_argument("--workers", type=_positive_int, default=1,
+                        help="engine worker processes shared by all runs "
+                             "(>= 1)")
+    parser.add_argument("--sim-shards", type=_positive_int, default=None,
+                        help="shards per trace-simulation batch (>= 1)")
+    parser.add_argument("--eval-shards", type=_positive_int, default=None,
                         help="samples per evaluation shard (streams "
-                             "running partial results)")
+                             "running partial results; >= 1)")
+    parser.add_argument("--retries", type=nonnegative_int, default=0,
+                        help="extra attempts per failed job (shared by "
+                             "all runs; default: 0)")
+    parser.add_argument("--retry-backoff", type=nonnegative_float,
+                        default=0.05, metavar="SECONDS",
+                        help="base exponential backoff between attempts "
+                             "(default: 0.05)")
+    parser.add_argument("--job-timeout", type=positive_float,
+                        default=None, metavar="SECONDS",
+                        help="per-job wall-clock budget on the worker "
+                             "pool; hung jobs are reclaimed and retried")
     parser.add_argument("--cache-dir", default=None,
                         help="on-disk result cache shared by all runs")
     parser.add_argument("--cache-max-mb", type=float, default=None,
@@ -785,6 +843,9 @@ def main(argv: Iterable[str] | None = None) -> int:
         sim_shards=args.sim_shards,
         eval_shards=args.eval_shards,
         cache_max_mb=args.cache_max_mb,
+        retries=args.retries,
+        retry_backoff=args.retry_backoff,
+        job_timeout=args.job_timeout,
     )
     store = None
     if not args.no_store:

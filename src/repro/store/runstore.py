@@ -13,9 +13,12 @@ Schema (one row per codec concept — see :mod:`repro.serve.events`):
 ``runs``
     One row per launched run: id, wall-clock ``created_at``, the
     launched ``experiments``/``params`` (JSON), terminal ``status``
-    (``running`` / ``done`` / ``failed`` / ``cancelled``), ``error``,
-    ``elapsed_s``, and the event-codec ``event_schema`` the run was
-    recorded under.
+    (``running`` / ``done`` / ``partial`` / ``failed`` /
+    ``cancelled``), ``error``, ``elapsed_s``, structured ``failures``
+    (JSON: per failed experiment, the :meth:`repro.engine.faults.
+    JobFailure.as_detail` records of its lost jobs; NULL unless the
+    run ended ``partial``), and the event-codec ``event_schema`` the
+    run was recorded under.
 ``events``
     The run's stamped wire events, keyed ``(run_id, id)`` with the
     per-run dense id the server assigned at append time.  The
@@ -48,9 +51,11 @@ from typing import Any, Iterator, Mapping
 
 from repro.serve import events as codec
 
-STORE_SCHEMA_VERSION = 1
+STORE_SCHEMA_VERSION = 2
 """Bumped when the *store* layout changes incompatibly (independent of
-the event codec's :data:`repro.serve.events.EVENT_SCHEMA_VERSION`)."""
+the event codec's :data:`repro.serve.events.EVENT_SCHEMA_VERSION`).
+v1 → v2 added the ``runs.failures`` column (partial-results runs);
+v1 databases are migrated in place on open."""
 
 DEFAULT_STORE_PATH = "repro-runs.sqlite"
 """Default database file, shared by ``serve``/``replay``/``runs``."""
@@ -68,6 +73,7 @@ CREATE TABLE IF NOT EXISTS runs (
     status       TEXT NOT NULL DEFAULT 'running',
     error        TEXT,
     elapsed_s    REAL,
+    failures     TEXT,
     event_schema INTEGER NOT NULL
 );
 CREATE TABLE IF NOT EXISTS events (
@@ -131,6 +137,28 @@ class RunStore:
                     f"{row['value']}, newer than supported "
                     f"{STORE_SCHEMA_VERSION}"
                 )
+            elif int(row["value"]) < STORE_SCHEMA_VERSION:
+                self._migrate(int(row["value"]))
+
+    def _migrate(self, from_version: int) -> None:
+        """In-place, lock-held upgrade of an older store layout.
+
+        v1 → v2: the ``runs`` table (created before ``CREATE TABLE IF
+        NOT EXISTS`` knew the column) gains ``failures``.
+        """
+        if from_version < 2:
+            columns = {
+                row["name"]
+                for row in self._conn.execute("PRAGMA table_info(runs)")
+            }
+            if "failures" not in columns:
+                self._conn.execute(
+                    "ALTER TABLE runs ADD COLUMN failures TEXT"
+                )
+        self._conn.execute(
+            "UPDATE store_meta SET value=? WHERE key='schema_version'",
+            (str(STORE_SCHEMA_VERSION),),
+        )
 
     # -- write path (the serving frontend) ----------------------------
 
@@ -188,15 +216,24 @@ class RunStore:
         elapsed_s: float,
         error: str | None = None,
         reports: Mapping[str, str] | None = None,
+        failures: Mapping[str, Any] | None = None,
     ) -> None:
-        """Record a run's terminal status and its formatted reports."""
-        if status not in ("done", "failed", "cancelled"):
+        """Record a run's terminal status, reports, and — for
+        ``partial`` runs — its structured per-experiment failures."""
+        if status not in ("done", "partial", "failed", "cancelled"):
             raise StoreError(f"not a terminal status: {status!r}")
         with self._lock:
             cur = self._conn.execute(
-                "UPDATE runs SET status=?, error=?, elapsed_s=? "
-                "WHERE run_id=?",
-                (status, error, float(elapsed_s), run_id),
+                "UPDATE runs SET status=?, error=?, elapsed_s=?, "
+                "failures=? WHERE run_id=?",
+                (
+                    status, error, float(elapsed_s),
+                    (
+                        codec.to_json(codec.jsonify(dict(failures)))
+                        if failures else None
+                    ),
+                    run_id,
+                ),
             )
             if cur.rowcount == 0:
                 raise StoreError(f"no such run {run_id!r}")
@@ -259,6 +296,9 @@ class RunStore:
             "status": row["status"],
             "error": row["error"],
             "elapsed_s": row["elapsed_s"],
+            "failures": (
+                json.loads(row["failures"]) if row["failures"] else None
+            ),
             "event_schema": row["event_schema"],
             "last_event_id": self._last_id_locked(row["run_id"]),
         }

@@ -32,6 +32,49 @@ class TestParser:
         assert args.no_cache
         assert args.progress
 
+    def test_parses_fault_options(self):
+        args = build_parser().parse_args(
+            ["fig9", "--retries", "2", "--retry-backoff", "0.01",
+             "--job-timeout", "30", "--on-error", "collect"]
+        )
+        assert args.retries == 2
+        assert args.retry_backoff == 0.01
+        assert args.job_timeout == 30.0
+        assert args.on_error == "collect"
+        defaults = build_parser().parse_args(["fig9"])
+        assert defaults.retries == 0
+        assert defaults.retry_backoff == 0.05
+        assert defaults.job_timeout is None
+        assert defaults.on_error == "raise"
+
+    @pytest.mark.parametrize("flag", [
+        "--workers", "--sim-shards", "--eval-shards",
+    ])
+    @pytest.mark.parametrize("value", ["0", "-1", "2.5", "many"])
+    def test_counts_must_be_positive_integers(self, flag, value, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig9", flag, value])
+        err = capsys.readouterr().err
+        assert "must be >= 1" in err or "not an integer" in err
+
+    @pytest.mark.parametrize("argv", [
+        ["fig9", "--retries", "-1"],
+        ["fig9", "--retries", "1.5"],
+        ["fig9", "--retry-backoff", "-0.1"],
+        ["fig9", "--retry-backoff", "nan"],
+        ["fig9", "--job-timeout", "0"],
+        ["fig9", "--job-timeout", "-5"],
+        ["fig9", "--on-error", "ignore"],
+    ])
+    def test_fault_options_validated(self, argv):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(argv)
+
+    @pytest.mark.parametrize("flag", ["--workers", "--sim-shards"])
+    def test_positive_counts_accepted(self, flag):
+        args = build_parser().parse_args(["fig9", flag, "3"])
+        assert getattr(args, flag.lstrip("-").replace("-", "_")) == 3
+
 
 class TestMain:
     def test_list(self, capsys):
@@ -75,6 +118,31 @@ class TestMain:
         assert "TABLE III" in out
         assert "FIG 11" in out
         assert "deduped" in out
+
+    @pytest.mark.slow
+    def test_collect_mode_exits_partial_with_failure_report(
+        self, capsys, tmp_path
+    ):
+        import json
+
+        from repro.engine import install_fault_plan
+
+        install_fault_plan("eval:cmc:*@*:raise")
+        jsonl = tmp_path / "events.jsonl"
+        try:
+            code = main([
+                "table3", "--samples", "1", "--on-error", "collect",
+                "--progress-jsonl", str(jsonl),
+            ])
+        finally:
+            install_fault_plan(None)
+        assert code == 3
+        captured = capsys.readouterr()
+        assert "job(s) failed" in captured.out
+        assert "incomplete" in captured.err
+        last = json.loads(jsonl.read_text().splitlines()[-1])
+        assert last["event"] == "run-partial"
+        assert "table3" in last["failures"]
 
     @pytest.mark.slow
     def test_warm_cache_run_executes_nothing(self, capsys, tmp_path):

@@ -115,12 +115,27 @@ class TestEventCodec:
             "shards_total": 2, "samples": 2,
             "accuracy": np.float64(50.0), "sparsity": np.float64(81.5),
         }
+        retry_detail = {
+            "attempt": 1, "max_attempts": 3, "delay_s": 0.05,
+            "reason": "KeyError: 'x'",
+        }
+        failure_detail = {
+            "job_id": sim.job_id, "label": "sim", "kind": "error",
+            "attempts": 3, "error": "KeyError: 'x'", "tracebacks": [],
+        }
         return [
             ProgressEvent("cache-hit", make_job(), 1, 4, 0.1, seq=1),
             ProgressEvent("started", sim, 1, 4, 0.2, seq=2),
             ProgressEvent("completed", sim, 2, 4, 0.3, seq=3),
             ProgressEvent("eval-shard-done", shard, 3, 4, 0.4,
                           detail=detail, seq=4),
+            ProgressEvent("retrying", sim, 3, 4, 0.5,
+                          detail=retry_detail, seq=5),
+            ProgressEvent("gave-up", sim, 4, 4, 0.6,
+                          detail=failure_detail, seq=6),
+            ProgressEvent("quarantined", sim, 4, 4, 0.7,
+                          detail=dict(failure_detail, kind="poisoned"),
+                          seq=7),
         ]
 
     def test_progress_round_trip_all_actions(self):
@@ -139,7 +154,10 @@ class TestEventCodec:
         assert actions == set(codec.PROGRESS_ACTIONS)
 
     def test_shard_detail_survives_with_native_types(self):
-        event = self.progress_events()[-1]
+        event, = [
+            e for e in self.progress_events()
+            if e.action == "eval-shard-done"
+        ]
         decoded = codec.parse_event(
             codec.to_json(codec.encode_progress(event))
         )
@@ -156,7 +174,11 @@ class TestEventCodec:
         )
         failed = codec.encode_run_failed("r2", "KeyError: 'x'", 0.2)
         cancelled = codec.encode_run_cancelled("r3", 0.1)
-        for event in (done, failed, cancelled):
+        partial = codec.encode_run_partial(
+            "r4", {"fig13": "FAILURE\n"},
+            {"fig13": {"name": "fig13", "failures": []}}, 0.3,
+        )
+        for event in (done, failed, cancelled, partial):
             decoded = codec.parse_event(codec.to_json(event))
             assert decoded == event
             assert codec.is_terminal(decoded)
@@ -164,6 +186,12 @@ class TestEventCodec:
         assert done["reports"]["fig13"]["sha256"] == (
             codec.report_digest("REPORT\n")
         )
+        assert partial["reports"]["fig13"]["sha256"] == (
+            codec.report_digest("FAILURE\n")
+        )
+        assert partial["failures"]["fig13"]["name"] == "fig13"
+        assert {done["event"], failed["event"], cancelled["event"],
+                partial["event"]} == set(codec.TERMINAL_EVENTS)
 
     def test_run_started_round_trips(self):
         started = codec.encode_run_started(
@@ -659,6 +687,63 @@ class TestHttpFrontend:
                 await app.shutdown()
 
         asyncio.run(scenario())
+
+    def test_partial_run_streams_failures_and_persists(
+        self, tiny_experiment, tmp_path
+    ):
+        from repro.engine import install_fault_plan
+        from repro.store import RunStore
+
+        # poison one of the tiny experiment's three jobs on every
+        # attempt; collect mode must finish the other two and end the
+        # stream with run-partial instead of run-failed
+        install_fault_plan(f"{TEST_KIND}:job1:*@*:raise")
+
+        async def scenario():
+            store = RunStore(tmp_path / "runs.sqlite")
+            app = ServeApp(
+                AsyncExperimentEngine(ExperimentEngine()), store=store,
+            )
+            server, port = await _start(app)
+            try:
+                _, run = await _json_request(
+                    port, "POST", "/runs",
+                    {"experiments": [tiny_experiment],
+                     "on_error": "collect"},
+                )
+                run_id = run["run_id"]
+                _, raw = await _request(
+                    port, "GET", f"/runs/{run_id}/events"
+                )
+                stream = codec.parse_sse(raw.decode())
+                status, result = await _json_request(
+                    port, "GET", f"/runs/{run_id}/result"
+                )
+                while status == 409:
+                    await asyncio.sleep(0.02)
+                    status, result = await _json_request(
+                        port, "GET", f"/runs/{run_id}/result"
+                    )
+                stored = store.get_run(run_id)
+                return stream, status, result, stored
+            finally:
+                install_fault_plan(None)
+                server.close()
+                await server.wait_closed()
+                await app.shutdown()
+                store.close()
+
+        stream, status, result, stored = asyncio.run(scenario())
+        terminal = stream[-1]
+        assert terminal["event"] == "run-partial"
+        assert tiny_experiment in terminal["failures"]
+        assert any(e.get("action") == "gave-up" for e in stream)
+        assert status == 200
+        assert result["status"] == "partial"
+        assert tiny_experiment in result["failures"]
+        assert "1 job(s) failed" in result["experiments"][tiny_experiment]
+        assert stored["status"] == "partial"
+        assert stored["failures"][tiny_experiment][0]["kind"] == "error"
 
     def test_finished_runs_are_evicted_beyond_cap(self, tiny_experiment):
         async def scenario():
