@@ -19,7 +19,11 @@ gate, and the shape-bucket statistics of the batched sweep.
 """
 
 import json
+import os
 import time
+from dataclasses import asdict, dataclass
+
+import numpy as np
 
 from repro.config import FocusConfig
 from repro.core.batched import bucket_samples
@@ -46,13 +50,87 @@ BATCHED_SPEEDUP_GATE = 0.9
 
 The 2x aspiration assumes stacked GEMMs recover multi-core BLAS
 utilization that per-sample GEMMs leave idle; on a single-core host
-(this repo's measurement class) both paths hit the same BLAS floor,
-the matcher's gather traffic is identical by construction, and the
-measured gain is ~1.0-1.2x (batch plans amortize wavefront schedules
-and skip per-sample block copies).  The recorded ``speedup`` tracks
-the real number per run; the gate only rejects a real regression,
-because a >=1.0 wall-clock gate between two closely matched arms
-flaps on shared runners."""
+both paths hit the same BLAS floor, the matcher's gather traffic is
+identical by construction, and the measured gain is ~1.0-1.2x (batch
+plans amortize wavefront schedules and skip per-sample block copies).
+The recorded ``speedup`` tracks the real number per run; on hosts
+whose *measured* GEMM floor actually lifts under stacking
+(:class:`BlasMeasurement`), the gate rises to
+:data:`THREADED_SPEEDUP_GATE` — a >=1.0 wall-clock gate between two
+closely matched arms flaps on shared single-core runners, so the
+0.9x guard stays everywhere else."""
+
+THREADED_SPEEDUP_GATE = 1.1
+"""The raised gate on hosts where stacked GEMMs measurably beat
+looped ones: batching must then deliver a real win, not just parity."""
+
+PROBE_LIFT_THRESHOLD = 1.3
+"""Minimum stacked-over-looped GEMM probe speedup before a host
+counts as *threaded* for gating purposes — comfortably above timer
+noise, comfortably below any real multi-core BLAS win."""
+
+
+@dataclass(frozen=True)
+class BlasMeasurement:
+    """The host's measurement class for GEMM-bound benchmarks.
+
+    ``cores`` and ``blas_threads`` describe the configured ceiling
+    (CPU count clipped by the usual thread-cap environment
+    variables); ``probe_speedup`` is the *measured* stacked-vs-looped
+    GEMM ratio on a small fixed workload.  ``threaded`` — and with it
+    the raised batched-forward gate — requires both: a multi-thread
+    configuration *and* a probe that actually lifted, so a container
+    with inflated ``os.cpu_count()`` but a pinned single-core quota
+    still gets the single-core guard.
+    """
+
+    cores: int
+    blas_threads: int
+    probe_speedup: float
+    threaded: bool
+
+    @property
+    def speedup_gate(self) -> float:
+        return THREADED_SPEEDUP_GATE if self.threaded \
+            else BATCHED_SPEEDUP_GATE
+
+    @classmethod
+    def detect(cls) -> "BlasMeasurement":
+        cores = os.cpu_count() or 1
+        blas_threads = cores
+        for var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS",
+                    "MKL_NUM_THREADS", "BLIS_NUM_THREADS"):
+            value = os.environ.get(var, "")
+            if value.isdigit() and int(value) >= 1:
+                blas_threads = min(blas_threads, int(value))
+        probe = cls._probe_stacking_lift()
+        threaded = (
+            blas_threads > 1 and probe >= PROBE_LIFT_THRESHOLD
+        )
+        return cls(
+            cores=cores, blas_threads=blas_threads,
+            probe_speedup=round(probe, 3), threaded=threaded,
+        )
+
+    @staticmethod
+    def _probe_stacking_lift(
+        batch: int = 16, dim: int = 96, rounds: int = 3
+    ) -> float:
+        """Best-of stacked-vs-looped GEMM wall ratio (>1 = lift)."""
+        rng = np.random.default_rng(0)
+        lhs = rng.standard_normal((batch, dim, dim))
+        rhs = rng.standard_normal((dim, dim))
+        stacked_lhs = lhs.reshape(batch * dim, dim)
+        looped = stacked = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            for index in range(batch):
+                lhs[index] @ rhs
+            looped = min(looped, time.perf_counter() - start)
+            start = time.perf_counter()
+            stacked_lhs @ rhs
+            stacked = min(stacked, time.perf_counter() - start)
+        return looped / max(stacked, 1e-9)
 
 
 def _grid_jobs(samples):
@@ -161,8 +239,11 @@ def test_eval_sharding_parity_and_telemetry(benchmark, results_dir):
 def test_batched_forward_throughput(benchmark, results_dir):
     """The batched-forward acceptance arm: one wavefront pass per
     eval-shard stack must be bit-identical to the serial loop and at
-    least :data:`BATCHED_SPEEDUP_GATE` x its cell throughput on the
+    least the measurement class's gate (:data:`BATCHED_SPEEDUP_GATE`,
+    or :data:`THREADED_SPEEDUP_GATE` on hosts whose GEMM floor
+    measurably lifts under stacking) x its cell throughput on the
     large zoo config."""
+    measurement = BlasMeasurement.detect()
     model_name, dataset = LARGE_CONFIG
     model = ModelCache.get(model_name)
     samples = make_dataset_span(
@@ -195,9 +276,12 @@ def test_batched_forward_throughput(benchmark, results_dir):
     assert batched_result == serial_result
 
     speedup = serial_wall / batched_wall
-    assert speedup >= BATCHED_SPEEDUP_GATE, (
+    gate = measurement.speedup_gate
+    assert speedup >= gate, (
         f"batched forward {speedup:.2f}x on {LARGE_CONFIG} fell below "
-        f"the {BATCHED_SPEEDUP_GATE}x regression gate"
+        f"the {gate}x gate ({'threaded' if measurement.threaded else 'single-core'} "
+        f"measurement class: {measurement.blas_threads} BLAS threads, "
+        f"probe lift {measurement.probe_speedup}x)"
     )
     benchmark.extra_info["batched_speedup"] = round(speedup, 3)
 
@@ -216,7 +300,8 @@ def test_batched_forward_throughput(benchmark, results_dir):
         "serial_wall_s": round(serial_wall, 4),
         "batched_wall_s": round(batched_wall, 4),
         "speedup": round(speedup, 3),
-        "speedup_gate": BATCHED_SPEEDUP_GATE,
+        "speedup_gate": gate,
+        "measurement": asdict(measurement),
         "buckets": {
             "count": len(buckets),
             "sizes": sorted(

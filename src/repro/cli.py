@@ -77,6 +77,17 @@ Flags:
     the least-recently-used entries first.
 ``--no-cache``
     Disable result caching (memory and disk) entirely.
+``--remote-cache URL``
+    Shared result-cache server (``python -m repro.cli cache-server``)
+    consulted as the third tier after memory and disk; fetched
+    payloads are sha256-verified before use and new results are
+    published back asynchronously.  Conflicts with ``--no-cache``.
+``--peers URLS``
+    Comma-separated ``repro serve`` peer base URLs.  Job batches are
+    partitioned over the fleet (local engine included) by rendezvous
+    hashing on each job's content address; an unreachable peer's
+    share is requeued for local execution without penalty, so the
+    run's results are bit-identical for any peer count.
 ``--progress``
     Stream per-job progress lines to stderr.
 ``--progress-jsonl PATH``
@@ -110,6 +121,14 @@ Flags:
     first) or inspects one: status, event count, per-report sha256
     digests.  ``--latest`` prints only the newest run id; ``--json``
     for machines.
+
+``cache-server`` subcommand
+    ``python -m repro.cli cache-server`` starts the standalone
+    content-addressed result-cache server
+    (:mod:`repro.remote.cache_server`): ``GET/PUT/HEAD
+    /cache/{job_id}`` plus a batched ``POST /cache/manifest``
+    presence probe, with LRU pruning past ``--max-mb``.  Point any
+    number of engines at it with ``--remote-cache``.
 """
 
 from __future__ import annotations
@@ -179,6 +198,36 @@ def nonnegative_float(text: str) -> float:
     if not value >= 0 or value == float("inf"):
         raise argparse.ArgumentTypeError(f"must be >= 0, got {text}")
     return value
+
+
+def http_url(text: str) -> str:
+    """Argparse type: an ``http://host[:port]`` base URL."""
+    from urllib.parse import urlsplit
+
+    candidate = text.strip().rstrip("/")
+    parts = urlsplit(candidate)
+    if parts.scheme != "http" or not parts.hostname:
+        raise argparse.ArgumentTypeError(
+            f"must look like http://host[:port], got {text!r}"
+        )
+    if parts.path or parts.query or parts.fragment:
+        raise argparse.ArgumentTypeError(
+            f"must be a bare base URL (no path/query), got {text!r}"
+        )
+    try:
+        parts.port  # raises ValueError on a malformed port
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad port in {text!r}")
+    return candidate
+
+
+def peer_list(text: str) -> list[str]:
+    """Argparse type: comma-separated peer base URLs, each validated."""
+    urls = [piece for piece in
+            (chunk.strip() for chunk in text.split(",")) if piece]
+    if not urls:
+        raise argparse.ArgumentTypeError("no peer URLs given")
+    return [http_url(url) for url in urls]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -260,6 +309,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the evaluation result cache",
     )
     parser.add_argument(
+        "--remote-cache", type=http_url, default=None, metavar="URL",
+        help="shared result-cache server (repro.cli cache-server) "
+             "consulted after the memory and disk tiers; results are "
+             "published back asynchronously and digest-verified on "
+             "fetch",
+    )
+    parser.add_argument(
+        "--peers", type=peer_list, default=None, metavar="URLS",
+        help="comma-separated 'repro serve' peer base URLs; job "
+             "batches are partitioned over the fleet by rendezvous "
+             "hashing, and an unreachable peer's share falls back to "
+             "local execution (results stay bit-identical)",
+    )
+    parser.add_argument(
         "--progress", action="store_true",
         help="stream per-job progress to stderr",
     )
@@ -315,6 +378,8 @@ def make_engine(
     retries: int = 0,
     retry_backoff: float = 0.05,
     job_timeout: float | None = None,
+    remote_cache: str | None = None,
+    peers: list[str] | None = None,
 ) -> ExperimentEngine:
     """Build an engine from CLI-style options.
 
@@ -326,14 +391,26 @@ def make_engine(
     ``retries`` extra attempts per failed job (``max_attempts =
     retries + 1``) backing off from ``retry_backoff`` seconds, and
     ``job_timeout`` caps each job's wall clock (pool mode).
+
+    ``remote_cache`` is a cache-server base URL wired in as the
+    third lookup tier, and ``peers`` a list of ``repro serve`` base
+    URLs to fan job batches out to (rendezvous-partitioned, with
+    local fallback for any share a peer cannot finish).
     """
     max_disk_bytes = (
         int(cache_max_mb * 1e6) if cache_max_mb is not None else None
     )
+    remote = None
+    if remote_cache is not None and not no_cache:
+        # Lazy: only remote-tier runs pay for the client stack.
+        from repro.remote.client import RemoteCacheClient
+
+        remote = RemoteCacheClient(remote_cache)
     cache = ResultCache(
         cache_dir=cache_dir,
         enabled=not no_cache,
         max_disk_bytes=max_disk_bytes,
+        remote=remote,
     )
     callbacks = []
     if progress:
@@ -361,6 +438,7 @@ def make_engine(
         eval_shards=eval_shards,
         retry_policy=retry_policy,
         job_timeout_s=job_timeout,
+        peers=peers,
     )
 
 
@@ -453,7 +531,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.store.replay import runs_main
 
         return runs_main(argv[1:])
-    args = build_parser().parse_args(argv)
+    if argv[:1] == ["cache-server"]:
+        from repro.remote.cache_server import main as cache_server_main
+
+        return cache_server_main(argv[1:])
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.no_cache and args.remote_cache is not None:
+        parser.error("--no-cache conflicts with --remote-cache")
     names = list(args.experiments)
     available = experiment_names()
     if names == ["list"]:
@@ -494,6 +579,8 @@ def main(argv: list[str] | None = None) -> int:
         retries=args.retries,
         retry_backoff=args.retry_backoff,
         job_timeout=args.job_timeout,
+        remote_cache=args.remote_cache,
+        peers=args.peers,
     )
     start = time.time()
     if jsonl_stream is not None:
@@ -557,18 +644,24 @@ def main(argv: list[str] | None = None) -> int:
     for field, label in (
         ("retries", "retries"), ("timeouts", "timeouts"),
         ("pool_crashes", "pool crashes"), ("quarantined", "quarantined"),
-        ("failed", "failed"),
+        ("peer_failures", "peer failures"), ("failed", "failed"),
     ):
         count = getattr(stats, field)
         if count:
             fault_notes.append(f"{count} {label}")
     fault_note = f" | faults: {', '.join(fault_notes)}" if fault_notes else ""
+    tier_bits = [f"{cache.disk_hits} from disk"]
+    if engine.cache.remote is not None:
+        tier_bits.append(f"{cache.remote_hits} from remote")
+    peer_note = (
+        f", {stats.remote_jobs} on peers" if stats.remote_jobs else ""
+    )
     print(
         f"[{', '.join(names)} done in {time.time() - start:.1f}s | "
         f"jobs: {stats.jobs_submitted} submitted, "
         f"{stats.jobs_deduped} deduped, {stats.cache_hits} cached "
-        f"({cache.disk_hits} from disk), {stats.executed} executed"
-        f"{shard_note}{fault_note} | workers={engine.workers}]"
+        f"({', '.join(tier_bits)}), {stats.executed} executed"
+        f"{shard_note}{peer_note}{fault_note} | workers={engine.workers}]"
     )
     if failures:
         print(

@@ -1,4 +1,4 @@
-"""Content-addressed result cache: in-memory with optional disk tier.
+"""Content-addressed result cache: memory, disk, and remote tiers.
 
 Every payload is stored under its job's content address
 (:attr:`repro.engine.jobs.EvalJob.job_id`), which hashes the full job
@@ -9,6 +9,19 @@ The memory tier makes any evaluation compute at most once per process;
 the disk tier (``cache_dir``) extends that across CLI invocations.
 Disk writes are atomic (temp file + rename) so a crashed run can never
 leave a truncated entry that poisons a later one.
+
+The optional **remote tier** (``remote``, a :class:`repro.remote.
+client.RemoteCacheClient` or anything duck-typing its
+``get``/``put``/``manifest``) extends the namespace across *machines*:
+a lookup that misses memory and disk fetches the job's canonical
+pickle bytes from a ``repro cache-server``, verifies their sha256, and
+back-fills both local tiers; stores publish the same bytes
+*write-behind* on a daemon thread, so ``put`` latency never waits on
+the network (:meth:`ResultCache.flush_remote` drains the queue).  A
+failed verification degrades to a miss — corrupt remote bytes are
+never unpickled.  :meth:`ResultCache.prefetch` batches one
+``POST /cache/manifest`` existence check for a whole schedule so
+known-absent jobs skip the per-job round-trip entirely.
 
 The disk tier can be LRU size-capped (``max_disk_bytes``, the CLI's
 ``--cache-max-mb``): every disk hit refreshes the entry's mtime as a
@@ -35,11 +48,12 @@ from __future__ import annotations
 
 import os
 import pickle
+import queue
 import tempfile
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterable
 
 from repro.engine.jobs import EvalJob
 
@@ -63,7 +77,11 @@ class CacheStats:
     misses: int = 0
     memory_hits: int = 0
     disk_hits: int = 0
+    remote_hits: int = 0
     stores: int = 0
+    remote_stores: int = 0
+    remote_errors: int = 0
+    remote_verify_failures: int = 0
     disk_evictions: int = 0
     hits_by_kind: dict[str, int] = field(default_factory=dict)
     misses_by_kind: dict[str, int] = field(default_factory=dict)
@@ -87,22 +105,86 @@ class CacheStats:
         else:
             self.misses += 1
 
+    def tiers(self) -> dict[str, int]:
+        """Hits by serving tier, in lookup order."""
+        return {
+            "memory": self.memory_hits,
+            "disk": self.disk_hits,
+            "remote": self.remote_hits,
+        }
+
     def as_dict(self) -> dict[str, Any]:
         return {
             "hits": self.hits,
             "misses": self.misses,
             "memory_hits": self.memory_hits,
             "disk_hits": self.disk_hits,
+            "remote_hits": self.remote_hits,
             "stores": self.stores,
+            "remote_stores": self.remote_stores,
+            "remote_errors": self.remote_errors,
+            "remote_verify_failures": self.remote_verify_failures,
             "disk_evictions": self.disk_evictions,
             "hit_rate": self.hit_rate,
             "hits_by_kind": dict(self.hits_by_kind),
             "misses_by_kind": dict(self.misses_by_kind),
         }
 
+    def snapshot(self) -> "CacheStats":
+        """An independent copy (pair with :meth:`delta` to scope the
+        cumulative counters to one run)."""
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            memory_hits=self.memory_hits,
+            disk_hits=self.disk_hits,
+            remote_hits=self.remote_hits,
+            stores=self.stores,
+            remote_stores=self.remote_stores,
+            remote_errors=self.remote_errors,
+            remote_verify_failures=self.remote_verify_failures,
+            disk_evictions=self.disk_evictions,
+            hits_by_kind=dict(self.hits_by_kind),
+            misses_by_kind=dict(self.misses_by_kind),
+        )
+
+    def delta(self, earlier: "CacheStats") -> "CacheStats":
+        """Counters accumulated since an earlier snapshot."""
+
+        def by_kind_delta(
+            now: dict[str, int], then: dict[str, int]
+        ) -> dict[str, int]:
+            return {
+                kind: count - then.get(kind, 0)
+                for kind, count in now.items()
+                if count - then.get(kind, 0)
+            }
+
+        return CacheStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            memory_hits=self.memory_hits - earlier.memory_hits,
+            disk_hits=self.disk_hits - earlier.disk_hits,
+            remote_hits=self.remote_hits - earlier.remote_hits,
+            stores=self.stores - earlier.stores,
+            remote_stores=self.remote_stores - earlier.remote_stores,
+            remote_errors=self.remote_errors - earlier.remote_errors,
+            remote_verify_failures=(
+                self.remote_verify_failures
+                - earlier.remote_verify_failures
+            ),
+            disk_evictions=self.disk_evictions - earlier.disk_evictions,
+            hits_by_kind=by_kind_delta(
+                self.hits_by_kind, earlier.hits_by_kind
+            ),
+            misses_by_kind=by_kind_delta(
+                self.misses_by_kind, earlier.misses_by_kind
+            ),
+        )
+
 
 class ResultCache:
-    """Two-tier (memory + disk) content-addressed job-result cache.
+    """Tiered (memory → disk → remote) content-addressed result cache.
 
     Args:
         cache_dir: Directory for the disk tier; ``None`` keeps the
@@ -113,22 +195,37 @@ class ResultCache:
             the tier over the cap evict least-recently-*used* entries
             (disk hits refresh an entry's mtime) until it fits again;
             ``None`` leaves the tier unbounded.
+        remote: Optional remote tier client (a :class:`repro.remote.
+            client.RemoteCacheClient`, or anything with its
+            ``get``/``put``/``manifest`` surface).  Lookups that miss
+            both local tiers fetch from it (sha256-verified, then
+            back-filled locally); stores publish to it asynchronously
+            (write-behind) unless ``put(..., publish=False)``.
     """
 
     def __init__(
         self, cache_dir: str | os.PathLike | None = None,
         enabled: bool = True,
         max_disk_bytes: int | None = None,
+        remote: Any | None = None,
     ) -> None:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.enabled = enabled
         if max_disk_bytes is not None and max_disk_bytes < 0:
             raise ValueError("max_disk_bytes must be >= 0")
         self.max_disk_bytes = max_disk_bytes
+        self.remote = remote
         self.stats = CacheStats()
         self._memory: dict[str, Any] = {}
         self._disk_usage: int | None = None  # running total; lazy init
         self._lock = threading.RLock()
+        # Remote-tier state: manifest knowledge (True = present, False
+        # = known absent → skip the GET) and the write-behind queue of
+        # (job_id, canonical_bytes) publishes, drained by a lazily
+        # started daemon thread.
+        self._remote_known: dict[str, bool] = {}
+        self._publish_queue: queue.Queue | None = None
+        self._publish_thread: threading.Thread | None = None
 
     def _path(self, job: EvalJob) -> Path:
         assert self.cache_dir is not None
@@ -136,18 +233,26 @@ class ResultCache:
 
     def get(self, job: EvalJob) -> Any:
         """Return the cached payload for ``job`` or :data:`MISS`."""
-        with self._lock:
-            return self._get(job)
+        return self.lookup(job)[0]
 
-    def _get(self, job: EvalJob) -> Any:
+    def lookup(self, job: EvalJob) -> tuple[Any, str | None]:
+        """Like :meth:`get`, plus the serving tier.
+
+        Returns ``(payload, tier)`` with ``tier`` one of ``"memory"``,
+        ``"disk"``, ``"remote"``, or ``None`` on a miss.
+        """
+        with self._lock:
+            return self._lookup(job)
+
+    def _lookup(self, job: EvalJob) -> tuple[Any, str | None]:
         if not self.enabled:
             self.stats._note(job.kind, hit=False)
-            return MISS
+            return MISS, None
         payload = self._memory.get(job.job_id, MISS)
         if payload is not MISS:
             self.stats._note(job.kind, hit=True)
             self.stats.memory_hits += 1
-            return payload
+            return payload, "memory"
         if self.cache_dir is not None:
             path = self._path(job)
             if path.exists():
@@ -173,43 +278,184 @@ class ResultCache:
                         # byte total no longer matches the directory.
                         self._disk_usage = None
                         self.stats._note(job.kind, hit=False)
-                        return MISS
+                        return MISS, None
                     except OSError:
                         pass
                     self._memory[job.job_id] = payload
                     self.stats._note(job.kind, hit=True)
                     self.stats.disk_hits += 1
-                    return payload
+                    return payload, "disk"
+        payload = self._remote_lookup(job)
+        if payload is not MISS:
+            self.stats._note(job.kind, hit=True)
+            self.stats.remote_hits += 1
+            return payload, "remote"
         self.stats._note(job.kind, hit=False)
-        return MISS
+        return MISS, None
 
-    def put(self, job: EvalJob, payload: Any) -> None:
-        """Store a payload in both tiers."""
+    def _remote_lookup(self, job: EvalJob) -> Any:
+        """Fetch from the remote tier and back-fill the local ones.
+
+        Corrupt bytes (failed sha256 verification or an unloadable
+        pickle) degrade to a miss; a miss or transport failure marks
+        the id known-absent so repeat lookups skip the round-trip
+        (:meth:`prefetch` pre-marks whole schedules in one request).
+        """
+        if self.remote is None:
+            return MISS
+        if self._remote_known.get(job.job_id) is False:
+            return MISS
+        try:
+            data = self.remote.get(job.job_id)
+        except Exception as exc:
+            from repro.remote.client import RemoteCacheVerificationError
+
+            if isinstance(exc, RemoteCacheVerificationError):
+                self.stats.remote_verify_failures += 1
+            else:
+                self.stats.remote_errors += 1
+            data = None
+        if data is None:
+            self._remote_known[job.job_id] = False
+            return MISS
+        try:
+            payload = pickle.loads(data)
+        except Exception:
+            self.stats.remote_errors += 1
+            self._remote_known[job.job_id] = False
+            return MISS
+        self._remote_known.pop(job.job_id, None)
+        self._memory[job.job_id] = payload
+        if self.cache_dir is not None:
+            # Back-fill the disk tier with the exact received bytes so
+            # all three tiers hold identical canonical entries.
+            self._write_disk(job, data)
+        return payload
+
+    def put(
+        self, job: EvalJob, payload: Any, publish: bool = True
+    ) -> None:
+        """Store a payload in every tier.
+
+        The remote publish is *write-behind*: the canonical bytes are
+        queued and shipped by a daemon thread, so the caller never
+        waits on the network (:meth:`flush_remote` drains the queue).
+        ``publish=False`` keeps a store local — used for payloads that
+        already live remotely (remote-tier hits, fleet-executed jobs
+        whose owner published them).
+        """
         with self._lock:
-            self._put(job, payload)
+            self._put(job, payload, publish)
 
-    def _put(self, job: EvalJob, payload: Any) -> None:
+    def _put(self, job: EvalJob, payload: Any, publish: bool) -> None:
         if not self.enabled:
             return
         self._memory[job.job_id] = payload
         self.stats.stores += 1
+        data: bytes | None = None
+        if self.cache_dir is not None or (
+            publish and self.remote is not None
+        ):
+            data = pickle.dumps(payload, pickle.HIGHEST_PROTOCOL)
         if self.cache_dir is not None:
-            self.cache_dir.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                dir=self.cache_dir, suffix=".tmp"
+            self._write_disk(job, data)
+        if publish and self.remote is not None:
+            self._remote_known.pop(job.job_id, None)
+            self._enqueue_publish(job.job_id, data)
+
+    def _write_disk(self, job: EvalJob, data: bytes) -> None:
+        """Atomically write one entry's canonical bytes to disk."""
+        assert self.cache_dir is not None
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.cache_dir, suffix=".tmp"
+        )
+        path = self._path(job)
+        old_size = self._entry_size(path)
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            os.unlink(tmp)
+            raise
+        if self._disk_usage is not None:
+            self._disk_usage += self._entry_size(path) - old_size
+        self.prune_disk()
+
+    # -- remote tier --------------------------------------------------
+
+    def _enqueue_publish(self, job_id: str, data: bytes) -> None:
+        if self._publish_queue is None:
+            self._publish_queue = queue.Queue()
+            self._publish_thread = threading.Thread(
+                target=self._publish_worker,
+                name="repro-cache-publish", daemon=True,
             )
-            path = self._path(job)
-            old_size = self._entry_size(path)
+            self._publish_thread.start()
+        self._publish_queue.put((job_id, data))
+
+    def _publish_worker(self) -> None:
+        assert self._publish_queue is not None
+        while True:
+            job_id, data = self._publish_queue.get()
             try:
-                with os.fdopen(fd, "wb") as fh:
-                    pickle.dump(payload, fh, pickle.HIGHEST_PROTOCOL)
-                os.replace(tmp, path)
-            except BaseException:
-                os.unlink(tmp)
-                raise
-            if self._disk_usage is not None:
-                self._disk_usage += self._entry_size(path) - old_size
-            self.prune_disk()
+                try:
+                    ok = bool(self.remote.put(job_id, data))
+                except Exception:
+                    ok = False
+                with self._lock:
+                    if ok:
+                        self.stats.remote_stores += 1
+                    else:
+                        self.stats.remote_errors += 1
+            finally:
+                self._publish_queue.task_done()
+
+    def flush_remote(self) -> None:
+        """Block until every queued write-behind publish has been
+        attempted (idempotent; a no-op without a remote tier)."""
+        if self._publish_queue is not None:
+            self._publish_queue.join()
+
+    def prefetch(self, jobs: Iterable[EvalJob]) -> int:
+        """Resolve remote existence for a schedule in one round-trip.
+
+        Jobs already in a local tier are skipped; the rest go into one
+        batched ``POST /cache/manifest`` whose answer pre-marks each id
+        present or absent, so the per-job lookups either fetch or skip
+        the network entirely.  Returns the number of ids marked
+        present.  Quietly a no-op when the remote tier is absent,
+        disabled, or unreachable (per-job lookups then probe as
+        usual).
+        """
+        if self.remote is None or not self.enabled:
+            return 0
+        wanted: dict[str, None] = {}
+        with self._lock:
+            for job in jobs:
+                if job.job_id in self._memory:
+                    continue
+                if job.job_id in self._remote_known:
+                    continue
+                if (
+                    self.cache_dir is not None
+                    and self._path(job).exists()
+                ):
+                    continue
+                wanted.setdefault(job.job_id, None)
+        if not wanted:
+            return 0
+        try:
+            present = self.remote.manifest(list(wanted))
+        except Exception:
+            present = None
+        if present is None:
+            return 0
+        with self._lock:
+            for job_id in wanted:
+                self._remote_known[job_id] = job_id in present
+        return len(present & set(wanted))
 
     @staticmethod
     def _entry_size(path: Path) -> int:

@@ -88,6 +88,17 @@ class JobTimeout(RuntimeError):
     """A job exceeded its per-job wall-clock budget."""
 
 
+class PeerUnreachable(RuntimeError):
+    """A fleet peer could not take (or finish) a job batch.
+
+    Raised by :class:`repro.remote.dispatch.PeerClient` on transport
+    failure, a non-200 response, or an undecodable result envelope.
+    The scheduler treats it exactly like a lost worker: the batch is
+    re-queued for local execution without charging any job's retry
+    budget, and the peer sits out a cooldown.
+    """
+
+
 class PoisonedJob(RuntimeError):
     """Raised (in ``on_error="raise"`` mode) for a quarantined job.
 

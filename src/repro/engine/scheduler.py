@@ -125,11 +125,14 @@ class EngineStats:
 
     ``executed`` counts actual evaluation calls; the acceptance
     criterion "a warm-cache re-run performs zero new ``evaluate()``
-    calls" is checked against it.  ``retries`` counts re-dispatches of
-    any flavor (failed attempt, timeout, crash cohort), ``timeouts``
-    hung attempts reclaimed by killing the pool, ``pool_crashes``
-    pool teardowns forced by a worker crash, and ``failed`` /
-    ``quarantined`` permanently failed and poisoned jobs.
+    calls" is checked against it — a job executed by a fleet peer
+    counts in ``remote_jobs`` instead, never in ``executed``.
+    ``retries`` counts re-dispatches of any flavor (failed attempt,
+    timeout, crash cohort, unreachable peer), ``timeouts`` hung
+    attempts reclaimed by killing the pool, ``pool_crashes`` pool
+    teardowns forced by a worker crash, ``peer_failures`` peer batches
+    that degraded to local execution, and ``failed`` / ``quarantined``
+    permanently failed and poisoned jobs.
     """
 
     jobs_submitted: int = 0
@@ -137,9 +140,11 @@ class EngineStats:
     jobs_deduped: int = 0
     cache_hits: int = 0
     executed: int = 0
+    remote_jobs: int = 0
     retries: int = 0
     timeouts: int = 0
     pool_crashes: int = 0
+    peer_failures: int = 0
     failed: int = 0
     quarantined: int = 0
     wall_s: float = 0.0
@@ -152,9 +157,11 @@ class EngineStats:
             "jobs_deduped": self.jobs_deduped,
             "cache_hits": self.cache_hits,
             "executed": self.executed,
+            "remote_jobs": self.remote_jobs,
             "retries": self.retries,
             "timeouts": self.timeouts,
             "pool_crashes": self.pool_crashes,
+            "peer_failures": self.peer_failures,
             "failed": self.failed,
             "quarantined": self.quarantined,
             "wall_s": self.wall_s,
@@ -174,9 +181,11 @@ class EngineStats:
             jobs_deduped=self.jobs_deduped - earlier.jobs_deduped,
             cache_hits=self.cache_hits - earlier.cache_hits,
             executed=self.executed - earlier.executed,
+            remote_jobs=self.remote_jobs - earlier.remote_jobs,
             retries=self.retries - earlier.retries,
             timeouts=self.timeouts - earlier.timeouts,
             pool_crashes=self.pool_crashes - earlier.pool_crashes,
+            peer_failures=self.peer_failures - earlier.peer_failures,
             failed=self.failed - earlier.failed,
             quarantined=self.quarantined - earlier.quarantined,
             wall_s=self.wall_s - earlier.wall_s,
@@ -190,9 +199,11 @@ class EngineStats:
             jobs_deduped=self.jobs_deduped,
             cache_hits=self.cache_hits,
             executed=self.executed,
+            remote_jobs=self.remote_jobs,
             retries=self.retries,
             timeouts=self.timeouts,
             pool_crashes=self.pool_crashes,
+            peer_failures=self.peer_failures,
             failed=self.failed,
             quarantined=self.quarantined,
             wall_s=self.wall_s,
@@ -260,6 +271,15 @@ class ExperimentEngine:
             in-flight jobs are re-dispatched without penalty, and the
             timed-out job is retried or failed per the retry policy.
             ``None`` (default) disables the budget.
+        peers: Fleet peer base URLs (the CLI's ``--peers``) — other
+            ``repro serve`` processes exposing ``POST /jobs``.  Each
+            batch is partitioned by rendezvous hashing on job id over
+            peers + the local engine (see :mod:`repro.remote.
+            dispatch`), remote shares execute concurrently with the
+            local one, and an unreachable peer's share is requeued for
+            local execution without penalty — a fleet of any size
+            degrades gracefully to, and stays bit-identical with,
+            local-only execution.
 
     The process pool is created lazily on the first parallel batch and
     reused across :meth:`run` calls — a driver that runs many small
@@ -277,6 +297,7 @@ class ExperimentEngine:
         eval_shards: int | None = None,
         retry_policy: RetryPolicy | None = None,
         job_timeout_s: float | None = None,
+        peers: Iterable[str] | None = None,
     ) -> None:
         self.workers = max(1, int(workers))
         self.cache = cache if cache is not None else ResultCache()
@@ -298,6 +319,14 @@ class ExperimentEngine:
                 f"job_timeout_s must be > 0, got {job_timeout_s}"
             )
         self.job_timeout_s = job_timeout_s
+        self.fleet = None
+        peer_urls = list(peers) if peers is not None else []
+        if peer_urls:
+            # Lazy: the engine layer stays importable without the
+            # remote package; only a fleet run needs it.
+            from repro.remote.dispatch import FleetDispatcher
+
+            self.fleet = FleetDispatcher(peer_urls)
         self.stats = EngineStats()
         self._pool: ProcessPoolExecutor | None = None
         # One reentrant lock guards the counters, the pool handle, and
@@ -330,11 +359,15 @@ class ExperimentEngine:
             self._subscribers.pop(token, None)
 
     def close(self) -> None:
-        """Shut down the persistent worker pool (idempotent)."""
+        """Shut down the persistent worker pool (idempotent) and drain
+        any pending remote-cache publishes."""
         with self._lock:
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
+        flush = getattr(self.cache, "flush_remote", None)
+        if flush is not None:
+            flush()
 
     def __enter__(self) -> "ExperimentEngine":
         return self
@@ -440,15 +473,15 @@ class ExperimentEngine:
             raise exc if exc is not None else PoisonedJob(failure)
 
     def _run_serial(
-        self, pending: list[EvalJob], results: dict[EvalJob, Any],
+        self, pending: list[_JobState], results: dict[EvalJob, Any],
         failures: dict[EvalJob, JobFailure], total: int, start: float,
         on_done: Callable[[EvalJob, Any, int], None] | None = None,
         progress: ProgressCallback | None = None,
         on_error: str = "raise",
     ) -> None:
-        for job in pending:
+        for state in pending:
             self._execute_serial_state(
-                _JobState(job=job), results, failures, total, start,
+                state, results, failures, total, start,
                 on_done, progress, on_error,
             )
 
@@ -573,7 +606,7 @@ class ExperimentEngine:
             self._ensure_pool().submit(_warm_up_probe).result()
 
     def _run_pool(
-        self, pending: list[EvalJob], results: dict[EvalJob, Any],
+        self, pending: list[_JobState], results: dict[EvalJob, Any],
         failures: dict[EvalJob, JobFailure], total: int, start: float,
         on_done: Callable[[EvalJob, Any, int], None] | None = None,
         progress: ProgressCallback | None = None,
@@ -594,9 +627,7 @@ class ExperimentEngine:
         in-process execution.
         """
         policy = self.retry_policy
-        ready: deque[_JobState] = deque(
-            _JobState(job=job) for job in pending
-        )
+        ready: deque[_JobState] = deque(pending)
         isolation: deque[_JobState] = deque()
         inflight: dict[Any, _JobState] = {}
         pool: ProcessPoolExecutor | None = None
@@ -908,6 +939,195 @@ class ExperimentEngine:
             wait(set(inflight))
             raise
 
+    def _run_local(
+        self, pending: list[_JobState], results: dict[EvalJob, Any],
+        failures: dict[EvalJob, JobFailure], total: int, start: float,
+        on_done: Callable[[EvalJob, Any, int], None] | None = None,
+        progress: ProgressCallback | None = None,
+        on_error: str = "raise",
+    ) -> None:
+        """Execute a share on this machine (serial or pool).
+
+        A single pending job still goes through the pool when a
+        timeout is set — wall-clock budgets are unenforceable
+        in-process.
+        """
+        if self.workers == 1 or (
+            len(pending) == 1 and self.job_timeout_s is None
+        ):
+            self._run_serial(
+                pending, results, failures, total, start, on_done,
+                progress, on_error,
+            )
+        else:
+            self._run_pool(
+                pending, results, failures, total, start, on_done,
+                progress, on_error,
+            )
+
+    def _run_fleet(
+        self, pending: list[_JobState], results: dict[EvalJob, Any],
+        failures: dict[EvalJob, JobFailure], total: int, start: float,
+        on_done: Callable[[EvalJob, Any, int], None] | None = None,
+        progress: ProgressCallback | None = None,
+        on_error: str = "raise",
+    ) -> None:
+        """Partition the batch over the fleet and run shares
+        concurrently.
+
+        Rendezvous hashing owns each job to a peer or the local
+        engine; peer shares ship as one ``POST /jobs`` batch each on
+        their own thread while the local share runs on this machine's
+        serial/pool path.  Any job a peer cannot deliver — the peer is
+        unreachable, an entry is missing, a digest fails verification,
+        or the peer reports a job-level failure — is requeued for
+        local execution *without penalty* (its retry budget is
+        untouched, exactly like a crashed worker's cohort), so the
+        fleet degrades to local-only and results stay bit-identical to
+        a serial run by construction.
+        """
+        from repro.remote.dispatch import LOCAL_NODE
+
+        by_job = {state.job: state for state in pending}
+        shares = self.fleet.partition(by_job)
+        local_states = [
+            by_job[job] for job in shares.pop(LOCAL_NODE, [])
+        ]
+        requeued: list[_JobState] = []
+        requeue_lock = threading.Lock()
+        errors: list[BaseException] = []
+
+        def run_share(url: str, jobs: list[EvalJob]) -> None:
+            states = [by_job[job] for job in jobs]
+            try:
+                self._run_peer_share(
+                    url, states, results, failures, total, start,
+                    on_done, progress, requeued, requeue_lock,
+                )
+            except BaseException as exc:  # noqa: BLE001 — re-raised
+                with requeue_lock:
+                    errors.append(exc)
+                    requeued.extend(
+                        state for state in states
+                        if state.job not in results
+                        and state.job not in failures
+                    )
+
+        threads = [
+            threading.Thread(
+                target=run_share, args=(url, jobs),
+                name=f"repro-fleet-{url}", daemon=True,
+            )
+            for url, jobs in shares.items()
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            if local_states:
+                self._run_local(
+                    local_states, results, failures, total, start,
+                    on_done, progress, on_error,
+                )
+        finally:
+            for thread in threads:
+                thread.join()
+        if errors:
+            raise errors[0]
+        if requeued:
+            self._run_local(
+                requeued, results, failures, total, start, on_done,
+                progress, on_error,
+            )
+
+    def _run_peer_share(
+        self, url: str, states: list[_JobState],
+        results: dict[EvalJob, Any],
+        failures: dict[EvalJob, JobFailure], total: int, start: float,
+        on_done: Callable[[EvalJob, Any, int], None] | None,
+        progress: ProgressCallback | None,
+        requeued: list[_JobState], requeue_lock: threading.Lock,
+    ) -> None:
+        """Ship one peer's share and fold its results in."""
+        from repro.engine.faults import PeerUnreachable
+        from repro.remote import protocol
+
+        def completed_count() -> int:
+            return len(results) + len(failures)
+
+        def requeue(
+            batch: list[_JobState], reason: str
+        ) -> None:
+            # Penalty-free, like a crashed worker's cohort: the batch
+            # counts one peer failure, not one retry per job — the
+            # jobs did nothing wrong.
+            with self._lock:
+                self.stats.peer_failures += 1
+            for state in batch:
+                self._emit(
+                    "retrying", state.job, completed_count(), total,
+                    start,
+                    detail={
+                        "attempt": state.attempts,
+                        "max_attempts": self.retry_policy.max_attempts,
+                        "delay_s": 0.0,
+                        "reason": reason,
+                        "peer": url,
+                    },
+                    progress=progress,
+                )
+            with requeue_lock:
+                requeued.extend(batch)
+
+        for state in states:
+            state.started = True
+            self._emit(
+                "started", state.job, completed_count(), total, start,
+                detail={"peer": url}, progress=progress,
+            )
+        try:
+            entries = self.fleet.peer(url).execute(
+                [state.job for state in states]
+            )
+        except PeerUnreachable as exc:
+            requeue(states, f"peer-unreachable: {exc}")
+            return
+
+        leftovers: list[_JobState] = []
+        for state in states:
+            entry = entries.get(state.job.job_id)
+            payload: Any = None
+            delivered = False
+            if (
+                isinstance(entry, tuple) and len(entry) == 3
+                and entry[0] == "ok"
+                and protocol.payload_digest(entry[2]) == entry[1]
+            ):
+                try:
+                    payload = protocol.decode_payload(entry[2])
+                    delivered = True
+                except Exception:
+                    delivered = False
+            if not delivered:
+                # Missing entry, job-level failure, or corrupt bytes:
+                # local execution is the authoritative fallback for
+                # all of them (it reproduces failures with the
+                # coordinator's own retry policy and records).
+                leftovers.append(state)
+                continue
+            with self._lock:
+                self.stats.remote_jobs += 1
+            self.cache.put(state.job, payload, publish=False)
+            results[state.job] = payload
+            done = completed_count()
+            self._emit(
+                "completed", state.job, done, total, start,
+                detail={"peer": url}, progress=progress,
+            )
+            if on_done is not None:
+                on_done(state.job, payload, done)
+        if leftovers:
+            requeue(leftovers, "peer-incomplete")
+
     # -- public API --------------------------------------------------
 
     def run(
@@ -977,9 +1197,25 @@ class ExperimentEngine:
             # eval layer; only a sharding run needs it.
             from repro.eval import eval_shards as shard_lib
 
+        if getattr(self.cache, "remote", None) is not None:
+            # One batched manifest round-trip resolves the whole
+            # schedule's remote existence up front (spans included),
+            # so per-job lookups either fetch or skip the network.
+            candidates = list(ordered)
+            if shard_lib is not None:
+                candidates.extend(
+                    shard
+                    for job in ordered if job.kind == "eval"
+                    for shard in shard_lib.plan_eval_shards(
+                        job, self.eval_shards
+                    )
+                )
+            self.cache.prefetch(candidates)
+
         results: dict[EvalJob, Any] = {}
         failures: dict[EvalJob, JobFailure] = {}
         hits: list[EvalJob] = []
+        hit_tiers: dict[EvalJob, str | None] = {}
         pending: list[EvalJob] = []
         plans: dict[EvalJob, tuple[EvalJob, ...]] = {}
         trackers: dict[EvalJob, Any] = {}
@@ -990,12 +1226,13 @@ class ExperimentEngine:
             if job in classified:
                 continue  # already scheduled as some cell's span
             classified.add(job)
-            payload = self.cache.get(job)
+            payload, tier = self.cache.lookup(job)
             if payload is not MISS:
                 with self._lock:
                     self.stats.cache_hits += 1
                 results[job] = payload
                 hits.append(job)
+                hit_tiers[job] = tier
                 continue
             if shard_lib is not None and job.kind == "eval":
                 shards = shard_lib.plan_eval_shards(job, self.eval_shards)
@@ -1011,12 +1248,13 @@ class ExperimentEngine:
                         # once, merged into every parent.
                         continue
                     classified.add(shard)
-                    span_payload = self.cache.get(shard)
+                    span_payload, span_tier = self.cache.lookup(shard)
                     if span_payload is not MISS:
                         with self._lock:
                             self.stats.cache_hits += 1
                         results[shard] = span_payload
                         hits.append(shard)
+                        hit_tiers[shard] = span_tier
                     else:
                         pending.append(shard)
             else:
@@ -1029,35 +1267,38 @@ class ExperimentEngine:
         def note_shard_done(
             shard: EvalJob, payload: Any, completed: int
         ) -> None:
-            for parent in shard_parents.get(shard, ()):
-                tracker = trackers[parent]
-                tracker.update(payload)
-                self._emit(
-                    "eval-shard-done", shard, completed, total, start,
-                    detail=tracker.as_detail(parent), progress=progress,
-                )
+            # Under the engine lock: fleet peer threads land shards
+            # concurrently with the local share, and the trackers'
+            # running tallies must not race.
+            with self._lock:
+                for parent in shard_parents.get(shard, ()):
+                    tracker = trackers[parent]
+                    tracker.update(payload)
+                    self._emit(
+                        "eval-shard-done", shard, completed, total,
+                        start, detail=tracker.as_detail(parent),
+                        progress=progress,
+                    )
 
         for done, job in enumerate(hits, start=1):
-            self._emit("cache-hit", job, done, total, start,
-                       progress=progress)
+            self._emit(
+                "cache-hit", job, done, total, start,
+                detail={"tier": hit_tiers[job]}, progress=progress,
+            )
             if job in shard_parents:
                 note_shard_done(job, results[job], done)
 
         if pending:
             on_done = note_shard_done if plans else None
-            # A single pending job still goes through the pool when a
-            # timeout is set — wall-clock budgets are unenforceable
-            # in-process.
-            if self.workers == 1 or (
-                len(pending) == 1 and self.job_timeout_s is None
-            ):
-                self._run_serial(
-                    pending, results, failures, total, start, on_done,
+            states = [_JobState(job=job) for job in pending]
+            if self.fleet is not None and self.fleet.peers:
+                self._run_fleet(
+                    states, results, failures, total, start, on_done,
                     progress, on_error,
                 )
             else:
-                self._run_pool(
-                    pending, results, failures, total, start, on_done,
+                self._run_local(
+                    states, results, failures, total, start, on_done,
                     progress, on_error,
                 )
 

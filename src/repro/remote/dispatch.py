@@ -1,0 +1,216 @@
+"""Fleet job dispatch: rendezvous placement and the peer wire client.
+
+A fleet is N ``repro serve`` processes plus the coordinating engine.
+Placement is rendezvous (highest-random-weight) hashing on the job's
+content address over the node set — every coordinator with the same
+``--peers`` list computes the same owner for the same job, so repeat
+sweeps land each job on the host whose disk cache already holds it,
+without any shared placement state.  The local engine is itself a node
+(:data:`LOCAL_NODE`), so the coordinator always takes a share instead
+of idling while its peers work.
+
+:class:`PeerClient` ships a batch to a peer's ``POST /jobs`` endpoint
+(pickled :func:`~repro.remote.protocol.encode_jobs` envelope in,
+per-job ``("ok", digest, payload_bytes)`` / ``("failed", detail)``
+entries out) and raises :class:`~repro.engine.faults.PeerUnreachable`
+on any transport-, status-, or decode-level trouble — the scheduler
+then requeues the batch for local execution without penalty, exactly
+like a crashed worker's cohort.  A peer that keeps failing is marked
+*down* and sits out a cooldown so one dead host costs one timeout per
+batch, not per job.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import http.client
+import threading
+import time
+from typing import Iterable, Sequence
+from urllib.parse import urlsplit
+
+from repro.engine.faults import PeerUnreachable
+from repro.engine.jobs import EvalJob
+from repro.remote import protocol
+
+LOCAL_NODE = "local"
+"""The coordinator's own name in the rendezvous node set."""
+
+CONNECT_TIMEOUT = 5.0
+"""Seconds to establish a connection / read a health probe."""
+
+EXECUTE_TIMEOUT = 600.0
+"""Seconds for a shipped batch to come back (jobs do real work)."""
+
+DOWN_AFTER_FAILURES = 2
+"""Consecutive batch failures before a peer is marked down."""
+
+DOWN_COOLDOWN = 30.0
+"""Seconds a down peer sits out before being probed again."""
+
+
+def rendezvous_owner(job_id: str, nodes: Sequence[str]) -> str:
+    """The node owning ``job_id`` under rendezvous hashing.
+
+    Deterministic in the *set* of nodes (order-insensitive, ties
+    broken by node name), and minimally disruptive: removing a node
+    reassigns only the jobs it owned.
+    """
+    if not nodes:
+        raise ValueError("rendezvous over an empty node set")
+    return max(
+        sorted(nodes),
+        key=lambda node: hashlib.sha256(
+            f"{node}\x00{job_id}".encode("utf-8")
+        ).digest(),
+    )
+
+
+class PeerClient:
+    """Blocking client for one ``repro serve`` peer's job endpoint."""
+
+    def __init__(
+        self,
+        base_url: str,
+        connect_timeout: float = CONNECT_TIMEOUT,
+        execute_timeout: float = EXECUTE_TIMEOUT,
+    ) -> None:
+        parts = urlsplit(base_url)
+        if parts.scheme != "http" or not parts.hostname:
+            raise ValueError(
+                f"peer URL must look like http://host:port, "
+                f"got {base_url!r}"
+            )
+        self.base_url = base_url.rstrip("/")
+        self.host = parts.hostname
+        self.port = parts.port or 80
+        self.connect_timeout = connect_timeout
+        self.execute_timeout = execute_timeout
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._down_until = 0.0
+
+    def __repr__(self) -> str:
+        return f"PeerClient({self.base_url!r})"
+
+    # -- availability -------------------------------------------------
+
+    def available(self) -> bool:
+        """False while the peer is sitting out a failure cooldown."""
+        with self._lock:
+            return time.monotonic() >= self._down_until
+
+    def note_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._down_until = 0.0
+
+    def note_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if self._failures >= DOWN_AFTER_FAILURES:
+                self._down_until = time.monotonic() + DOWN_COOLDOWN
+                self._failures = 0
+
+    # -- wire ---------------------------------------------------------
+
+    def execute(self, jobs: Sequence[EvalJob]) -> dict[str, tuple]:
+        """Ship a batch; return per-job result entries by job id.
+
+        Raises :class:`PeerUnreachable` on transport failure, non-200
+        status, or an undecodable envelope (and notes the failure for
+        the down heuristic).  Entries are
+        ``("ok", digest, payload_bytes)`` or ``("failed", detail)`` —
+        payload digests are *not* verified here; the scheduler checks
+        them before accepting a payload.
+        """
+        body = protocol.encode_jobs(jobs)
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.execute_timeout
+        )
+        try:
+            conn.request(
+                "POST", "/jobs", body=body,
+                headers={"Content-Type": "application/octet-stream"},
+            )
+            response = conn.getresponse()
+            data = response.read()
+            status = response.status
+        except (OSError, http.client.HTTPException) as exc:
+            self.note_failure()
+            raise PeerUnreachable(
+                f"POST {self.base_url}/jobs: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        finally:
+            conn.close()
+        if status != 200:
+            self.note_failure()
+            raise PeerUnreachable(
+                f"POST {self.base_url}/jobs answered {status}: "
+                f"{data[:200]!r}"
+            )
+        try:
+            entries = protocol.decode_job_results(data)
+        except ValueError as exc:
+            self.note_failure()
+            raise PeerUnreachable(
+                f"POST {self.base_url}/jobs returned junk: {exc}"
+            ) from exc
+        self.note_success()
+        return entries
+
+    def healthy(self) -> bool:
+        """Probe ``GET /healthz`` with the short connect timeout."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.connect_timeout
+        )
+        try:
+            conn.request("GET", "/healthz")
+            response = conn.getresponse()
+            response.read()
+            return response.status == 200
+        except (OSError, http.client.HTTPException):
+            return False
+        finally:
+            conn.close()
+
+
+class FleetDispatcher:
+    """Rendezvous placement over a peer set (plus the local engine)."""
+
+    def __init__(self, peer_urls: Sequence[str]) -> None:
+        seen: dict[str, None] = {}
+        for url in peer_urls:
+            seen.setdefault(url.rstrip("/"), None)
+        self.peers = [PeerClient(url) for url in seen]
+        self._by_url = {peer.base_url: peer for peer in self.peers}
+
+    @property
+    def peer_urls(self) -> list[str]:
+        return [peer.base_url for peer in self.peers]
+
+    def peer(self, url: str) -> PeerClient:
+        return self._by_url[url]
+
+    def partition(
+        self, jobs: Iterable[EvalJob]
+    ) -> dict[str, list[EvalJob]]:
+        """Split a batch by owning node.
+
+        Keys are peer base URLs plus :data:`LOCAL_NODE`; a peer
+        currently marked down is excluded from the node set for this
+        batch, so its share degrades to local execution up front
+        instead of timing out first.
+        """
+        nodes = [LOCAL_NODE] + [
+            peer.base_url for peer in self.peers if peer.available()
+        ]
+        shares: dict[str, list[EvalJob]] = {}
+        for job in jobs:
+            owner = (
+                rendezvous_owner(job.job_id, nodes)
+                if len(nodes) > 1 else LOCAL_NODE
+            )
+            shares.setdefault(owner, []).append(job)
+        return shares

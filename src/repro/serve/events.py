@@ -40,9 +40,13 @@ types (tuples to lists, NumPy scalars to Python numbers) so
 ``json.dumps`` round-trips them losslessly.
 
 Schema history: v1 had neither the fault-action progress events nor
-``run-partial``; v2 added both.  :func:`parse_event` accepts any
-schema up to its own version, so v1 streams stored by older builds
-still replay.
+``run-partial``; v2 added both.  Later, still within v2, ``run-done``
+and ``run-partial`` gained the *optional* ``cache`` field (the run's
+cache activity split by serving tier: ``memory`` / ``disk`` /
+``remote`` hits plus totals) — purely additive fields never bump the
+schema, and consumers must tolerate their absence.  :func:`parse_event`
+accepts any schema up to its own version, so v1 streams stored by
+older builds still replay.
 """
 
 from __future__ import annotations
@@ -153,10 +157,16 @@ def report_digest(text: str) -> str:
 
 
 def encode_run_done(
-    run_id: str, reports: Mapping[str, str], elapsed_s: float
+    run_id: str, reports: Mapping[str, str], elapsed_s: float,
+    cache_tiers: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
-    """Terminal success event; carries per-report content digests."""
-    return _lifecycle(
+    """Terminal success event; carries per-report content digests.
+
+    ``cache_tiers`` (optional, additive) is the run's cache activity
+    split by serving tier — the server passes the per-run delta of
+    :meth:`repro.engine.cache.CacheStats.tiers` plus hit/miss totals.
+    """
+    event = _lifecycle(
         "run-done", run_id,
         elapsed_s=float(elapsed_s),
         reports={
@@ -164,6 +174,9 @@ def encode_run_done(
             for name, text in reports.items()
         },
     )
+    if cache_tiers is not None:
+        event["cache"] = jsonify(dict(cache_tiers))
+    return event
 
 
 def encode_run_partial(
@@ -171,6 +184,7 @@ def encode_run_partial(
     reports: Mapping[str, str],
     failures: Mapping[str, Any],
     elapsed_s: float,
+    cache_tiers: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Terminal partial-success event (``on_error="collect"`` runs).
 
@@ -178,9 +192,10 @@ def encode_run_partial(
     failed experiments' reports are their deterministic failure
     summaries — plus ``failures``: per failed experiment, the list of
     structured :meth:`~repro.engine.faults.JobFailure.as_detail`
-    records (job key, kind, attempts, tracebacks).
+    records (job key, kind, attempts, tracebacks).  ``cache_tiers``
+    is the same optional additive field as on ``run-done``.
     """
-    return _lifecycle(
+    event = _lifecycle(
         "run-partial", run_id,
         elapsed_s=float(elapsed_s),
         reports={
@@ -189,6 +204,9 @@ def encode_run_partial(
         },
         failures=jsonify(dict(failures)),
     )
+    if cache_tiers is not None:
+        event["cache"] = jsonify(dict(cache_tiers))
+    return event
 
 
 def encode_run_failed(

@@ -38,6 +38,12 @@ their live event streams out to any number of clients:
     Cancel a run; its workers return to the shared pool.
 ``GET /runs``, ``GET /runs/{id}``, ``GET /experiments``, ``GET /healthz``
     Introspection: run listing/status, the registry catalog, liveness.
+``POST /jobs``
+    Fleet execute endpoint (see :mod:`repro.remote.dispatch`): a
+    pickled job batch runs through this server's engine — cache,
+    pool, retries and all — and the per-job results return as
+    digest-carrying canonical payload bytes.  This is what makes any
+    ``repro serve`` process usable as a ``--peers`` target.
 
 The HTTP layer is deliberately minimal (HTTP/1.1, ``Connection:
 close``, no TLS) — it is the reproduction's serving surface, not a
@@ -59,16 +65,26 @@ from typing import Any, Iterable
 from urllib.parse import parse_qs, urlsplit
 
 from repro.engine import registry
-from repro.engine.faults import ExperimentFailure
+from repro.engine.faults import ExperimentFailure, JobFailure
 from repro.serve import events as codec
 from repro.serve.async_engine import (
     AsyncExperimentEngine,
     AsyncRun,
     RunCancelled,
 )
+from repro.serve.http import (
+    HttpError,
+    header_block,
+    read_request,
+    respond_bytes,
+    respond_json,
+)
 from repro.store.runstore import DEFAULT_STORE_PATH, RunStore
 
 DEFAULT_PORT = 8377
+MAX_BODY_BYTES = 1 << 30
+"""Request-body ceiling; ``POST /jobs`` batches carry pickled job
+payloads (e.g. sim traces), everything else is small JSON."""
 DEFAULT_RING_SIZE = 65536
 DEFAULT_MAX_FINISHED_RUNS = 256
 """Terminal runs retained (with their event logs and reports) before
@@ -208,6 +224,7 @@ class Run:
     failures: dict[str, Any] = field(default_factory=dict)
     started: float = field(default_factory=time.monotonic)
     pump: asyncio.Task | None = None
+    cache_before: Any = None  # CacheStats snapshot at launch
 
     def describe(self) -> dict[str, Any]:
         return {
@@ -222,22 +239,6 @@ class Run:
             "events_url": f"/runs/{self.run_id}/events",
             "result_url": f"/runs/{self.run_id}/result",
         }
-
-
-class HttpError(Exception):
-    """Routed straight to a JSON error response."""
-
-    def __init__(self, status: int, message: str) -> None:
-        super().__init__(message)
-        self.status = status
-        self.message = message
-
-
-_STATUS_TEXT = {
-    200: "OK", 201: "Created", 202: "Accepted", 400: "Bad Request",
-    404: "Not Found", 405: "Method Not Allowed", 409: "Conflict",
-    410: "Gone", 500: "Internal Server Error",
-}
 
 
 class ServeApp:
@@ -321,6 +322,7 @@ class ServeApp:
             params=params,
             on_error=on_error,
             log=RunLog(self.ring_size, store=self.store, run_id=run_id),
+            cache_before=self.engine.engine.cache.stats.snapshot(),
             handle=self.engine.launch(
                 list(names), on_error=on_error, **params
             ),
@@ -363,18 +365,40 @@ class ServeApp:
             if isinstance(result, ExperimentFailure)
         }
         elapsed = time.monotonic() - run.started
+        cache_tiers = self._cache_delta(run)
         if run.failures:
             # Collect-mode run with permanently failed jobs: partial.
             run.status = "partial"
             await run.log.append(codec.encode_run_partial(
-                run.run_id, run.reports, run.failures, elapsed
+                run.run_id, run.reports, run.failures, elapsed,
+                cache_tiers=cache_tiers,
             ))
         else:
             run.status = "done"
             await run.log.append(codec.encode_run_done(
-                run.run_id, run.reports, elapsed
+                run.run_id, run.reports, elapsed,
+                cache_tiers=cache_tiers,
             ))
         self._persist_outcome(run)
+
+    def _cache_delta(self, run: Run) -> dict[str, Any] | None:
+        """The shared cache's per-tier activity over this run's life.
+
+        Concurrent runs share one cache, so overlapping runs' deltas
+        overlap too — the field reports what the cache did *while the
+        run was live*, which for the common serial-usage case is
+        exactly the run's own traffic.
+        """
+        if run.cache_before is None:
+            return None
+        delta = self.engine.engine.cache.stats.snapshot().delta(
+            run.cache_before
+        )
+        tiers: dict[str, Any] = delta.tiers()
+        tiers["hits"] = delta.hits
+        tiers["misses"] = delta.misses
+        tiers["remote_stores"] = delta.remote_stores
+        return tiers
 
     def _persist_outcome(self, run: Run) -> None:
         """Record a terminal run's status, reports, and failures in
@@ -431,20 +455,28 @@ class ServeApp:
     ) -> None:
         """One connection, one request (``Connection: close``)."""
         try:
-            request = await self._read_request(reader)
+            try:
+                request = await read_request(
+                    reader, max_body=MAX_BODY_BYTES
+                )
+            except HttpError as exc:
+                await respond_json(
+                    writer, exc.status, {"error": exc.message}
+                )
+                return
             if request is None:
                 return
             method, target, headers, body = request
             try:
                 await self._route(method, target, headers, body, writer)
             except HttpError as exc:
-                await self._respond_json(
+                await respond_json(
                     writer, exc.status, {"error": exc.message}
                 )
             except (ConnectionResetError, BrokenPipeError):
                 pass  # client went away mid-stream; run keeps going
             except Exception as exc:
-                await self._respond_json(
+                await respond_json(
                     writer, 500,
                     {"error": f"{type(exc).__name__}: {exc}"},
                 )
@@ -454,29 +486,6 @@ class ServeApp:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
-
-    async def _read_request(self, reader: asyncio.StreamReader):
-        try:
-            request_line = await reader.readline()
-            parts = request_line.decode("latin-1").split()
-            if len(parts) != 3:
-                return None
-            method, target, _version = parts
-            headers: dict[str, str] = {}
-            while True:
-                line = await reader.readline()
-                if line in (b"\r\n", b"\n", b""):
-                    break
-                name, _, value = line.decode("latin-1").partition(":")
-                headers[name.strip().lower()] = value.strip()
-            body = b""
-            length = int(headers.get("content-length") or 0)
-            if length:
-                body = await reader.readexactly(length)
-        except (ConnectionResetError, asyncio.IncompleteReadError,
-                asyncio.LimitOverrunError, ValueError):
-            return None  # malformed or truncated request: just drop it
-        return method.upper(), target, headers, body
 
     async def _route(
         self, method: str, target: str, headers: dict[str, str],
@@ -490,21 +499,23 @@ class ServeApp:
         }
 
         if parts == ["healthz"] and method == "GET":
-            await self._respond_json(writer, 200, {
+            await respond_json(writer, 200, {
                 "ok": True, "runs": len(self.runs),
                 "schema": codec.EVENT_SCHEMA_VERSION,
             })
         elif parts == ["experiments"] and method == "GET":
-            await self._respond_json(writer, 200, {
+            await respond_json(writer, 200, {
                 "experiments": list(registry.experiment_catalog()),
             })
+        elif parts == ["jobs"] and method == "POST":
+            await self._execute_jobs(writer, body)
         elif parts == ["runs"] and method == "POST":
             try:
                 spec = json.loads(body or b"{}")
             except json.JSONDecodeError as exc:
                 raise HttpError(400, f"invalid JSON body: {exc}")
             run = await self.start_run(spec)
-            await self._respond_json(writer, 201, run.describe())
+            await respond_json(writer, 201, run.describe())
         elif parts == ["runs"] and method == "GET":
             listing: dict[str, Any] = {
                 "runs": [run.describe() for run in self.runs.values()],
@@ -516,13 +527,13 @@ class ServeApp:
                     for info in self.store.list_runs()
                     if info["run_id"] not in live
                 ]
-            await self._respond_json(writer, 200, listing)
+            await respond_json(writer, 200, listing)
         elif len(parts) == 2 and parts[0] == "runs" and method == "GET":
             if parts[1] in self.runs:
                 payload = self._get_run(parts[1]).describe()
             else:
                 payload = self._describe_stored(self._stored_run(parts[1]))
-            await self._respond_json(writer, 200, payload)
+            await respond_json(writer, 200, payload)
         elif len(parts) == 2 and parts[0] == "runs" and method == "DELETE":
             if parts[1] not in self.runs and self.store is not None \
                     and self.store.get_run(parts[1]) is not None:
@@ -532,7 +543,7 @@ class ServeApp:
                 )
             run = self._get_run(parts[1])
             run.handle.cancel()
-            await self._respond_json(writer, 202, run.describe())
+            await respond_json(writer, 202, run.describe())
         elif (
             len(parts) == 3 and parts[0] == "runs"
             and parts[2] == "events" and method == "GET"
@@ -560,6 +571,45 @@ class ServeApp:
         else:
             raise HttpError(404, f"no route for {method} {url.path}")
 
+    async def _execute_jobs(
+        self, writer: asyncio.StreamWriter, body: bytes
+    ) -> None:
+        """Fleet execute endpoint: run a shipped job batch.
+
+        The batch runs through this server's engine (its cache, pool,
+        retry policy, and fault machinery — a job cached here never
+        re-executes), in collect mode so one bad job costs one entry,
+        not the batch.  Per-job entries return as the pickled
+        :func:`repro.remote.protocol.encode_job_results` envelope:
+        ``("ok", digest, canonical_bytes)`` or ``("failed", detail)``.
+        Same trust model as the cache tier: pickled payloads, trusted
+        network only.
+        """
+        from repro.remote import protocol
+
+        try:
+            jobs = protocol.decode_jobs(body)
+        except ValueError as exc:
+            raise HttpError(400, str(exc)) from None
+        # The engine is thread-safe; run the blocking batch off the
+        # event loop so live runs keep streaming while peers execute.
+        results = await asyncio.to_thread(
+            self.engine.engine.run, jobs, on_error="collect"
+        )
+        entries: dict[str, tuple] = {}
+        for job in jobs:
+            value = results[job]
+            if isinstance(value, JobFailure):
+                entries[job.job_id] = ("failed", value.as_detail())
+            else:
+                data = protocol.encode_payload(value)
+                entries[job.job_id] = (
+                    "ok", protocol.payload_digest(data), data
+                )
+        await respond_bytes(
+            writer, 200, protocol.encode_job_results(entries)
+        )
+
     async def _respond_result(
         self, writer: asyncio.StreamWriter, run: Run
     ) -> None:
@@ -583,7 +633,7 @@ class ServeApp:
         }
         if run.status == "partial":
             payload["failures"] = codec.jsonify(run.failures)
-        await self._respond_json(writer, 200, payload)
+        await respond_json(writer, 200, payload)
 
     @staticmethod
     def _parse_stream_query(
@@ -607,7 +657,7 @@ class ServeApp:
         content_type = (
             "application/x-ndjson" if jsonl else "text/event-stream"
         )
-        writer.write(self._header_block(200, content_type))
+        writer.write(header_block(200, content_type))
         if not jsonl:
             writer.write(codec.SSE_RETRY_PREAMBLE.encode("latin-1"))
 
@@ -688,36 +738,7 @@ class ServeApp:
         }
         if info["status"] == "partial":
             payload["failures"] = info.get("failures") or {}
-        await self._respond_json(writer, 200, payload)
-
-    @staticmethod
-    def _header_block(status: int, content_type: str) -> bytes:
-        return (
-            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
-            f"Content-Type: {content_type}\r\n"
-            "Cache-Control: no-cache\r\n"
-            "Connection: close\r\n"
-            "\r\n"
-        ).encode("latin-1")
-
-    async def _respond_json(
-        self, writer: asyncio.StreamWriter, status: int, payload: Any,
-    ) -> None:
-        body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
-        try:
-            writer.write(
-                (
-                    f"HTTP/1.1 {status} "
-                    f"{_STATUS_TEXT.get(status, 'OK')}\r\n"
-                    "Content-Type: application/json\r\n"
-                    f"Content-Length: {len(body)}\r\n"
-                    "Connection: close\r\n"
-                    "\r\n"
-                ).encode("latin-1") + body
-            )
-            await writer.drain()
-        except (ConnectionResetError, BrokenPipeError):
-            pass
+        await respond_json(writer, 200, payload)
 
     async def shutdown(self) -> None:
         """Cancel every live run and release the engine's workers."""
@@ -780,8 +801,10 @@ def build_parser() -> argparse.ArgumentParser:
                     "progress streaming.",
     )
     from repro.cli import (  # no cycle: cli loads serve lazily
+        http_url,
         nonnegative_float,
         nonnegative_int,
+        peer_list,
         positive_float,
     )
 
@@ -814,6 +837,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="LRU cap for the disk cache tier")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the result cache")
+    parser.add_argument("--remote-cache", type=http_url, default=None,
+                        metavar="URL",
+                        help="remote cache tier: a repro cache-server "
+                             "base URL (http://host:port) results are "
+                             "fetched from and published to")
+    parser.add_argument("--peers", type=peer_list, default=None,
+                        metavar="URLS",
+                        help="comma-separated repro-serve peer base "
+                             "URLs to dispatch job shares to "
+                             "(rendezvous-hashed by job id)")
     parser.add_argument("--ring-size", type=_positive_int,
                         default=DEFAULT_RING_SIZE,
                         help="events retained per run in memory for "
@@ -834,6 +867,8 @@ def main(argv: Iterable[str] | None = None) -> int:
     args = parser.parse_args(list(argv) if argv is not None else None)
     if args.no_store and args.store_path is not None:
         parser.error("--no-store conflicts with --store-path")
+    if args.no_cache and args.remote_cache is not None:
+        parser.error("--no-cache conflicts with --remote-cache")
     from repro.cli import make_engine  # no cycle: cli loads serve lazily
 
     engine = make_engine(
@@ -846,6 +881,8 @@ def main(argv: Iterable[str] | None = None) -> int:
         retries=args.retries,
         retry_backoff=args.retry_backoff,
         job_timeout=args.job_timeout,
+        remote_cache=args.remote_cache,
+        peers=args.peers,
     )
     store = None
     if not args.no_store:

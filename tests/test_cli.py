@@ -75,6 +75,54 @@ class TestParser:
         args = build_parser().parse_args(["fig9", flag, "3"])
         assert getattr(args, flag.lstrip("-").replace("-", "_")) == 3
 
+    def test_parses_remote_options(self):
+        args = build_parser().parse_args([
+            "fig9",
+            "--remote-cache", "http://cache:8378/",
+            "--peers", "http://a:8377, http://b:8377,",
+        ])
+        assert args.remote_cache == "http://cache:8378"
+        assert args.peers == ["http://a:8377", "http://b:8377"]
+        defaults = build_parser().parse_args(["fig9"])
+        assert defaults.remote_cache is None
+        assert defaults.peers is None
+
+    @pytest.mark.parametrize("argv", [
+        ["fig9", "--remote-cache", "cache:8378"],
+        ["fig9", "--remote-cache", "https://cache:8378"],
+        ["fig9", "--remote-cache", "http://"],
+        ["fig9", "--remote-cache", "http://cache:notaport"],
+        ["fig9", "--remote-cache", "http://cache:1/path"],
+        ["fig9", "--peers", ""],
+        ["fig9", "--peers", ","],
+        ["fig9", "--peers", "http://a:1,b:2"],
+        ["fig9", "--peers", "file:///etc/passwd"],
+    ])
+    def test_remote_options_validated(self, argv, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(argv)
+        err = capsys.readouterr().err
+        assert "must look like http://" in err or "no peer URLs" in err \
+            or "bad port" in err or "bare base URL" in err
+
+    def test_no_cache_conflicts_with_remote_cache(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig9", "--no-cache",
+                  "--remote-cache", "http://cache:8378"])
+        assert "conflicts" in capsys.readouterr().err
+
+    def test_serve_parser_shares_remote_options(self, capsys):
+        from repro.serve.server import build_parser as serve_parser
+
+        args = serve_parser().parse_args(
+            ["--peers", "http://a:8377", "--remote-cache", "http://c:1"]
+        )
+        assert args.peers == ["http://a:8377"]
+        assert args.remote_cache == "http://c:1"
+        with pytest.raises(SystemExit):
+            serve_parser().parse_args(["--peers", "nope"])
+        assert "must look like http://" in capsys.readouterr().err
+
 
 class TestMain:
     def test_list(self, capsys):
