@@ -22,6 +22,14 @@ Flags:
     Samples per evaluation cell (default: each driver's own default).
 ``--seed S``
     Experiment seed; all sample streams derive from it.
+``--scenario SPEC``
+    Generative workload spec ``family[:key=value,...]`` for the
+    ``scenario`` experiment (families: ``mtconv``, ``stream``,
+    ``tenantmix`` — see :mod:`repro.workloads.scenarios`).  Specs are
+    canonicalized, so every spelling of one ``(family, seed, params)``
+    triple shares one content-addressed cache entry, and scenario
+    cells are prefix-stable: growing ``--samples`` re-executes only
+    the suffix, exactly like the base datasets.
 ``--workers N``
     Process-pool size.  Results are bit-identical for any ``N``; only
     wall-clock changes.
@@ -121,6 +129,15 @@ Flags:
     first) or inspects one: status, event count, per-report sha256
     digests.  ``--latest`` prints only the newest run id; ``--json``
     for machines.
+
+``load`` subcommand
+    ``python -m repro.cli load`` replays a traffic trace against a
+    live ``repro serve`` endpoint (:mod:`repro.load`): open-loop
+    Poisson/burst arrivals or closed-loop concurrency with think
+    time, a ``--virtual`` clock for deterministic simulated
+    timelines, and per-request p50/p95/p99 latency, time-to-first-
+    event, and subscriber fan-out written as a ``BENCH_load.json``-
+    shaped report via ``--output``.
 
 ``cache-server`` subcommand
     ``python -m repro.cli cache-server`` starts the standalone
@@ -230,6 +247,22 @@ def peer_list(text: str) -> list[str]:
     return [http_url(url) for url in urls]
 
 
+def scenario_spec(text: str) -> str:
+    """Argparse type: a ``family[:key=value,...]`` scenario spec.
+
+    The spec is canonicalized (defaults filled in, params sorted), so
+    every spelling of one ``(family, seed, params)`` triple produces
+    byte-identical engine job keys — and therefore shared cache
+    entries.
+    """
+    from repro.workloads.scenarios import parse_scenario
+
+    try:
+        return parse_scenario(text).name
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -245,6 +278,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--seed", type=int, default=0, help="experiment seed",
+    )
+    parser.add_argument(
+        "--scenario", type=scenario_spec, default=None, metavar="SPEC",
+        help="generative workload spec 'family[:key=value,...]' for "
+             "the 'scenario' experiment (families: mtconv, stream, "
+             "tenantmix; canonicalized so every spelling of one spec "
+             "shares one content-addressed cache entry)",
     )
     parser.add_argument(
         "--workers", type=positive_int, default=1,
@@ -450,10 +490,12 @@ def run_experiment(
     matcher: str | None = None,
     forward_batch: int | None = None,
     on_error: str = "raise",
+    scenario: str | None = None,
 ) -> str:
     """Run one experiment and return its formatted report."""
     text, = run_experiments(
-        [name], samples, seed, engine, matcher, forward_batch, on_error
+        [name], samples, seed, engine, matcher, forward_batch, on_error,
+        scenario,
     ).values()
     return text
 
@@ -466,6 +508,7 @@ def run_experiments(
     matcher: str | None = None,
     forward_batch: int | None = None,
     on_error: str = "raise",
+    scenario: str | None = None,
 ) -> dict[str, str]:
     """Run several experiments as one schedule; return formatted reports.
 
@@ -476,7 +519,8 @@ def run_experiments(
     instead of raising.
     """
     reports, _ = _run_detailed(
-        names, samples, seed, engine, matcher, forward_batch, on_error
+        names, samples, seed, engine, matcher, forward_batch, on_error,
+        scenario,
     )
     return reports
 
@@ -489,6 +533,7 @@ def _run_detailed(
     matcher: str | None,
     forward_batch: int | None,
     on_error: str,
+    scenario: str | None = None,
 ) -> tuple[dict[str, str], dict[str, object]]:
     """Run a schedule; return formatted reports + structured failures.
 
@@ -504,6 +549,8 @@ def _run_detailed(
         params["matcher"] = matcher
     if forward_batch is not None:
         params["forward_batch"] = forward_batch
+    if scenario is not None:
+        params["scenario"] = scenario
     results = registry.run_experiments(
         names, engine, on_error=on_error, **params
     )
@@ -535,6 +582,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.remote.cache_server import main as cache_server_main
 
         return cache_server_main(argv[1:])
+    if argv[:1] == ["load"]:
+        from repro.load.cli import main as load_main
+
+        return load_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.no_cache and args.remote_cache is not None:
@@ -552,6 +603,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown experiments: {unknown}; try 'list'",
               file=sys.stderr)
         return 2
+    if args.scenario is not None and set(names) != {"scenario"}:
+        # run_experiments forwards params to every requested plan
+        # factory, and only the scenario factory accepts a spec.
+        parser.error("--scenario only applies to the 'scenario' "
+                     "experiment")
     if args.cache_dir is not None:
         cache_path = Path(args.cache_dir)
         if cache_path.exists() and not cache_path.is_dir():
@@ -593,13 +649,15 @@ def main(argv: list[str] | None = None) -> int:
             params["matcher"] = args.matcher
         if args.forward_batch is not None:
             params["forward_batch"] = args.forward_batch
+        if args.scenario is not None:
+            params["scenario"] = args.scenario
         jsonl_stream.write(codec.to_json(
             codec.encode_run_started("offline", names, params)
         ) + "\n")
     try:
         reports, failures = _run_detailed(
             names, args.samples, args.seed, engine, args.matcher,
-            args.forward_batch, args.on_error,
+            args.forward_batch, args.on_error, args.scenario,
         )
     except BaseException as exc:
         if jsonl_stream is not None:

@@ -1015,6 +1015,75 @@ def plan_fig13(
 
 
 # ---------------------------------------------------------------------------
+# Scenario — generative workload families (--scenario)
+# ---------------------------------------------------------------------------
+
+SCENARIO_METHODS = ("dense", "focus")
+
+
+@dataclass
+class ScenarioResult:
+    """Per-method accuracy/sparsity on one generative scenario."""
+
+    scenario: str  # canonical name (the jobs' dataset key)
+    digest: str    # content address of the spec
+    family: str
+    model: str
+    methods: tuple[str, ...]
+    num_samples: int
+    # method -> (accuracy %, sparsity %, mean trace tokens)
+    cells: dict[str, tuple[float, float, float]] = field(
+        default_factory=dict
+    )
+
+
+@register("scenario", "generative workload families (--scenario spec)")
+def plan_scenario(
+    scenario: str = "mtconv",
+    model: str = "llava-video",
+    methods: tuple[str, ...] = SCENARIO_METHODS,
+    num_samples: int = 8,
+    seed: int = 0,
+    matcher: str | None = None,
+    forward_batch: int | None = None,
+) -> ExperimentPlan:
+    """Evaluate one generative scenario family.
+
+    ``scenario`` is any spelling of a ``family[:key=value,...]`` spec
+    (see :mod:`repro.workloads.scenarios`); it is canonicalized here,
+    so the jobs' dataset keys — and therefore their content-addressed
+    cache entries — are identical for every spelling of one
+    ``(family, seed, params)`` triple.
+    """
+    from repro.workloads.scenarios import parse_scenario
+
+    spec = parse_scenario(scenario)
+    jobs = tuple(
+        EvalJob(model=model, dataset=spec.name, method=method,
+                num_samples=num_samples, seed=seed,
+                config=_base_config(matcher, forward_batch))
+        for method in methods
+    )
+
+    def assemble(results: Results) -> ScenarioResult:
+        result = ScenarioResult(
+            scenario=spec.name, digest=spec.digest, family=spec.family,
+            model=model, methods=tuple(methods), num_samples=num_samples,
+        )
+        for job in jobs:
+            cell = results[job]
+            mean_tokens = float(np.mean(
+                [trace.initial_tokens for trace in cell.traces]
+            )) if cell.traces else 0.0
+            result.cells[job.method] = (
+                cell.accuracy, cell.sparsity, mean_tokens
+            )
+        return result
+
+    return ExperimentPlan(jobs, assemble)
+
+
+# ---------------------------------------------------------------------------
 # Classic callable drivers (engine-backed)
 # ---------------------------------------------------------------------------
 
@@ -1032,3 +1101,4 @@ fig10d = _engine_driver(plan_fig10d)
 fig11 = _engine_driver(plan_fig11)
 fig12 = _engine_driver(plan_fig12)
 fig13 = _engine_driver(plan_fig13)
+scenario = _engine_driver(plan_scenario)

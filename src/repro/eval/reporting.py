@@ -15,6 +15,7 @@ from repro.eval.experiments import (
     Fig9Result,
     Fig12Row,
     Fig13Result,
+    ScenarioResult,
     SweepPoint,
     Table2Result,
     Table3Row,
@@ -248,6 +249,23 @@ def format_fig13(result: Fig13Result) -> str:
 # Registry wiring: every experiment gets its paper-style renderer.
 # ---------------------------------------------------------------------------
 
+def format_scenario(result: ScenarioResult) -> str:
+    """Render a generative-scenario run: per-method accuracy/sparsity."""
+    lines = [
+        f"SCENARIO {result.family} on {_model_label(result.model)} "
+        f"({result.num_samples} samples, digest {result.digest})",
+        f"  spec: {result.scenario}",
+        f"{'Method':14s} {'Acc.':>8s} {'Sparsity':>9s} {'MeanTok':>8s}",
+    ]
+    for method in result.methods:
+        accuracy, sparsity, mean_tokens = result.cells[method]
+        lines.append(
+            f"{PAPER_METHOD_NAMES.get(method, method):14s} "
+            f"{accuracy:8.2f} {sparsity:9.2f} {mean_tokens:8.1f}"
+        )
+    return "\n".join(lines)
+
+
 def _attach_formatters() -> None:
     from repro.engine.registry import set_formatter
 
@@ -273,6 +291,7 @@ def _attach_formatters() -> None:
     set_formatter("fig11", format_fig11)
     set_formatter("fig12", format_fig12)
     set_formatter("fig13", format_fig13)
+    set_formatter("scenario", format_scenario)
 
 
 _attach_formatters()

@@ -1,0 +1,48 @@
+"""Open/closed-loop load harness for the serving frontend.
+
+``repro load`` replays a traffic trace — generated Poisson/burst
+arrivals or a recorded JSON-lines schedule — against a live
+``repro serve`` endpoint, or simulates it on a deterministic virtual
+clock.  See :mod:`repro.load.harness` for the driving disciplines and
+:mod:`repro.load.trace` for the trace format.
+"""
+
+from repro.load.client import (
+    LoadError,
+    ServeTransport,
+    TERMINAL_EVENTS,
+    VirtualTransport,
+)
+from repro.load.harness import (
+    HISTOGRAM_EDGES_MS,
+    LoadReport,
+    RequestRecord,
+    latency_histogram,
+    run_closed_loop,
+    run_open_loop,
+)
+from repro.load.trace import (
+    LoadRequest,
+    TraceError,
+    poisson_trace,
+    read_trace,
+    write_trace,
+)
+
+__all__ = [
+    "HISTOGRAM_EDGES_MS",
+    "LoadError",
+    "LoadReport",
+    "LoadRequest",
+    "RequestRecord",
+    "ServeTransport",
+    "TERMINAL_EVENTS",
+    "TraceError",
+    "VirtualTransport",
+    "latency_histogram",
+    "poisson_trace",
+    "read_trace",
+    "run_closed_loop",
+    "run_open_loop",
+    "write_trace",
+]

@@ -1,0 +1,166 @@
+"""Load-harness transports: real HTTP against ``repro serve``, and a
+deterministic virtual service model for simulated timelines.
+
+A transport is a callable ``(request, key) -> (ttfe_s, latency_s,
+events)``: time to the first streamed event, total latency until
+every subscriber saw the terminal event, and the total number of
+events fanned out across subscribers.  ``key`` is a stable label
+tuple identifying the request within the run — the virtual transport
+derives its service-time stream from it, so simulated timelines are
+bit-identical across runs.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from urllib.parse import urlsplit
+
+from repro.load.trace import LoadRequest
+from repro.utils.rng import rng_for
+
+TERMINAL_EVENTS = frozenset(
+    {"run-done", "run-partial", "run-failed", "run-cancelled"}
+)
+
+
+class LoadError(RuntimeError):
+    """A load request failed against the target server."""
+
+
+class VirtualTransport:
+    """Deterministic service-time model for virtual-clock runs.
+
+    Latency is ``base_s`` plus an exponential jitter drawn from a
+    stream keyed by ``(seed, key)``; time-to-first-event is a fixed
+    fraction of the latency; fan-out is ``events_per_run`` events per
+    subscriber.  Nothing sleeps and no server is contacted — the
+    harness integrates these durations on a virtual clock.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        base_s: float = 0.05,
+        jitter_s: float = 0.02,
+        ttfe_fraction: float = 0.35,
+        events_per_run: int = 12,
+    ) -> None:
+        self.seed = seed
+        self.base_s = base_s
+        self.jitter_s = jitter_s
+        self.ttfe_fraction = ttfe_fraction
+        self.events_per_run = events_per_run
+
+    def __call__(self, request: LoadRequest,
+                 key: tuple) -> tuple[float, float, int]:
+        rng = rng_for(self.seed, "load", "service", *key)
+        latency = self.base_s + float(rng.exponential(self.jitter_s))
+        ttfe = latency * self.ttfe_fraction
+        events = self.events_per_run * max(1, request.subscribers)
+        return ttfe, latency, events
+
+
+class ServeTransport:
+    """Real wall-clock transport: POST a run, fan out subscribers.
+
+    Each call POSTs the request's spec to ``/runs``, then opens
+    ``request.subscribers`` concurrent JSON-lines event streams and
+    reads each to its terminal event.  Returns the measured
+    time-to-first-event (any subscriber), the latency until the
+    slowest subscriber finished, and the total events received.
+    """
+
+    def __init__(self, base_url: str, timeout_s: float = 120.0) -> None:
+        parts = urlsplit(base_url)
+        if parts.scheme != "http" or not parts.hostname:
+            raise ValueError(
+                f"base_url must look like http://host[:port], "
+                f"got {base_url!r}"
+            )
+        self.host = parts.hostname
+        self.port = parts.port or 80
+        self.timeout_s = timeout_s
+
+    def _post_run(self, request: LoadRequest) -> str:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            conn.request(
+                "POST", "/runs", body=json.dumps(request.spec()),
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            body = response.read()
+            if response.status != 201:
+                raise LoadError(
+                    f"POST /runs -> {response.status}: "
+                    f"{body.decode('utf-8', 'replace')[:200]}"
+                )
+            return json.loads(body)["run_id"]
+        finally:
+            conn.close()
+
+    def _subscribe(self, run_id: str, first_event_s: list[float],
+                   lock: threading.Lock, counts: list[int],
+                   errors: list[str], origin: float) -> None:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            conn.request("GET", f"/runs/{run_id}/events?format=jsonl")
+            response = conn.getresponse()
+            if response.status != 200:
+                raise LoadError(
+                    f"GET events -> {response.status} for run {run_id}"
+                )
+            events = 0
+            for raw in response:
+                line = raw.strip()
+                if not line:
+                    continue
+                events += 1
+                now = time.monotonic() - origin
+                with lock:
+                    if not first_event_s or now < first_event_s[0]:
+                        first_event_s[:] = [now]
+                    counts[0] += 1
+                if json.loads(line).get("event") in TERMINAL_EVENTS:
+                    break
+            if not events:
+                raise LoadError(f"empty event stream for run {run_id}")
+        except Exception as exc:  # collected per subscriber
+            with lock:
+                errors.append(f"{type(exc).__name__}: {exc}")
+        finally:
+            conn.close()
+
+    def __call__(self, request: LoadRequest,
+                 key: tuple) -> tuple[float, float, int]:
+        origin = time.monotonic()
+        run_id = self._post_run(request)
+        lock = threading.Lock()
+        first_event_s: list[float] = []
+        counts = [0]
+        errors: list[str] = []
+        threads = [
+            threading.Thread(
+                target=self._subscribe,
+                args=(run_id, first_event_s, lock, counts, errors, origin),
+                daemon=True,
+            )
+            for _ in range(max(1, request.subscribers))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=self.timeout_s)
+        latency = time.monotonic() - origin
+        if errors:
+            raise LoadError("; ".join(errors[:3]))
+        if any(thread.is_alive() for thread in threads):
+            raise LoadError(f"subscriber timed out after {self.timeout_s}s")
+        return first_event_s[0], latency, counts[0]

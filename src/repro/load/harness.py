@@ -1,0 +1,320 @@
+"""Open/closed-loop load drivers with virtual- and wall-clock modes.
+
+Two driving disciplines:
+
+* **Open loop** replays a trace's arrival schedule regardless of how
+  the server keeps up — the classic way to measure latency under a
+  target arrival rate (coordinated omission avoided by construction).
+* **Closed loop** keeps a fixed number of workers issuing requests
+  back-to-back with optional think time — the classic way to measure
+  throughput at a concurrency cap.
+
+Both run in two clock modes.  **Wall clock** fires real requests
+through a transport (:class:`~repro.load.client.ServeTransport`) and
+measures real time.  **Virtual clock** integrates the transport's
+reported durations on a simulated timeline — nothing sleeps, no
+socket opens, and the whole report (timelines, percentiles,
+histograms) is bit-identical across runs for one seed, which is what
+the deterministic tests pin.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.load.trace import LoadRequest
+
+HISTOGRAM_EDGES_MS: tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+    1000.0, 2000.0, 5000.0, 10000.0, 30000.0, 120000.0,
+)
+"""Log-spaced latency bin edges; the last bin is open-ended."""
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Outcome of one replayed request."""
+
+    index: int
+    start_s: float
+    ttfe_s: float | None
+    latency_s: float | None
+    events: int
+    subscribers: int
+    ok: bool
+    error: str | None = None
+
+
+def _percentile(values: list[float], q: float) -> float | None:
+    if not values:
+        return None
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+def latency_histogram(records: list[RequestRecord]) -> list[int]:
+    """Latency counts per :data:`HISTOGRAM_EDGES_MS` bin (+ overflow)."""
+    counts = [0] * len(HISTOGRAM_EDGES_MS)
+    for record in records:
+        if not record.ok or record.latency_s is None:
+            continue
+        ms = record.latency_s * 1e3
+        for bin_index, edge in enumerate(HISTOGRAM_EDGES_MS):
+            if ms <= edge:
+                counts[bin_index] += 1
+                break
+        else:
+            counts[-1] += 1
+    return counts
+
+
+def _peak_overlap(intervals: list[tuple[float, float]]) -> int:
+    """Maximum number of intervals alive at once (end == start doesn't
+    overlap)."""
+    events: list[tuple[float, int]] = []
+    for start, end in intervals:
+        events.append((start, 1))
+        events.append((end, -1))
+    peak = alive = 0
+    for _, delta in sorted(events):
+        alive += delta
+        peak = max(peak, alive)
+    return peak
+
+
+@dataclass
+class LoadReport:
+    """Everything a load run measured, plus derived summaries."""
+
+    mode: str    # "open" | "closed"
+    clock: str   # "virtual" | "wall"
+    records: list[RequestRecord] = field(default_factory=list)
+    wall_s: float = 0.0
+    concurrency_peak: int = 0
+    concurrency_cap: int | None = None
+
+    @property
+    def ok_records(self) -> list[RequestRecord]:
+        return [record for record in self.records if record.ok]
+
+    def summary(self) -> dict:
+        """The ``BENCH_load.json``-shaped report."""
+        ok = self.ok_records
+        latencies = sorted(r.latency_s for r in ok)
+        ttfes = sorted(r.ttfe_s for r in ok if r.ttfe_s is not None)
+        to_ms = lambda s: None if s is None else s * 1e3  # noqa: E731
+        return {
+            "mode": self.mode,
+            "clock": self.clock,
+            "requests": len(self.records),
+            "failed": len(self.records) - len(ok),
+            "errors": sorted({r.error for r in self.records
+                              if r.error})[:5],
+            "wall_s": self.wall_s,
+            "latency_ms": {
+                "p50": to_ms(_percentile(latencies, 50)),
+                "p95": to_ms(_percentile(latencies, 95)),
+                "p99": to_ms(_percentile(latencies, 99)),
+                "mean": to_ms(
+                    float(np.mean(latencies)) if latencies else None
+                ),
+            },
+            "ttfe_ms": {
+                "p50": to_ms(_percentile(ttfes, 50)),
+                "p95": to_ms(_percentile(ttfes, 95)),
+                "p99": to_ms(_percentile(ttfes, 99)),
+            },
+            "histogram_ms": {
+                "edges": list(HISTOGRAM_EDGES_MS),
+                "counts": latency_histogram(self.records),
+            },
+            "fanout": {
+                "subscribers": max(
+                    (r.subscribers for r in self.records), default=0
+                ),
+                "events": sum(r.events for r in ok),
+            },
+            "concurrency": {
+                "peak": self.concurrency_peak,
+                "cap": self.concurrency_cap,
+            },
+        }
+
+
+def run_open_loop(
+    trace: list[LoadRequest],
+    transport,
+    virtual: bool = True,
+) -> LoadReport:
+    """Replay a trace's arrival schedule through ``transport``.
+
+    Virtual mode places each request at its scheduled ``at_s`` and
+    integrates the transport's durations; wall mode sleeps to each
+    arrival and fires a thread per request (arrivals never wait for
+    responses — open loop).
+    """
+    if virtual:
+        records = []
+        for index, request in enumerate(trace):
+            ttfe, latency, events = transport(request, ("open", index))
+            records.append(RequestRecord(
+                index=index, start_s=request.at_s, ttfe_s=ttfe,
+                latency_s=latency, events=events,
+                subscribers=request.subscribers, ok=True,
+            ))
+        wall = max(
+            (r.start_s + r.latency_s for r in records), default=0.0
+        )
+        peak = _peak_overlap(
+            [(r.start_s, r.start_s + r.latency_s) for r in records]
+        )
+        return LoadReport("open", "virtual", records, wall, peak)
+
+    records: list[RequestRecord | None] = [None] * len(trace)
+    lock = threading.Lock()
+    active = 0
+    peak = 0
+    origin = time.monotonic()
+
+    def fire(index: int, request: LoadRequest) -> None:
+        nonlocal active, peak
+        start = time.monotonic() - origin
+        with lock:
+            active += 1
+            peak = max(peak, active)
+        try:
+            ttfe, latency, events = transport(request, ("open", index))
+            records[index] = RequestRecord(
+                index=index, start_s=start, ttfe_s=ttfe,
+                latency_s=latency, events=events,
+                subscribers=request.subscribers, ok=True,
+            )
+        except Exception as exc:
+            records[index] = RequestRecord(
+                index=index, start_s=start, ttfe_s=None, latency_s=None,
+                events=0, subscribers=request.subscribers, ok=False,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        finally:
+            with lock:
+                active -= 1
+
+    threads = []
+    for index, request in enumerate(trace):
+        delay = request.at_s - (time.monotonic() - origin)
+        if delay > 0:
+            time.sleep(delay)
+        thread = threading.Thread(target=fire, args=(index, request),
+                                  daemon=True)
+        thread.start()
+        threads.append(thread)
+    for thread in threads:
+        thread.join()
+    return LoadReport(
+        "open", "wall", [r for r in records if r is not None],
+        time.monotonic() - origin, peak,
+    )
+
+
+def run_closed_loop(
+    requests: list[LoadRequest],
+    concurrency: int,
+    transport,
+    think_s: float = 0.0,
+    max_requests: int = 16,
+    virtual: bool = True,
+) -> LoadReport:
+    """Drive ``concurrency`` workers through ``requests`` (cycled).
+
+    Each worker issues its next request as soon as the previous one
+    finishes plus ``think_s`` of think time; at most ``concurrency``
+    requests are ever in flight (the property test pins this from the
+    recorded timeline).  Virtual mode assigns request ``g`` to worker
+    ``g % concurrency`` and integrates per-worker clocks, which is
+    exactly the wall-mode schedule when service times are uniform.
+    """
+    if concurrency < 1 or max_requests < 1:
+        raise ValueError("run_closed_loop: need concurrency >= 1 and "
+                         "max_requests >= 1")
+    if not requests:
+        raise ValueError("run_closed_loop: empty request list")
+
+    if virtual:
+        worker_clock = [0.0] * concurrency
+        records = []
+        for index in range(max_requests):
+            worker = index % concurrency
+            request = requests[index % len(requests)]
+            start = worker_clock[worker]
+            ttfe, latency, events = transport(request, ("closed", index))
+            records.append(RequestRecord(
+                index=index, start_s=start, ttfe_s=ttfe,
+                latency_s=latency, events=events,
+                subscribers=request.subscribers, ok=True,
+            ))
+            worker_clock[worker] = start + latency + think_s
+        peak = _peak_overlap(
+            [(r.start_s, r.start_s + r.latency_s) for r in records]
+        )
+        return LoadReport(
+            "closed", "virtual", records, max(worker_clock), peak,
+            concurrency_cap=concurrency,
+        )
+
+    lock = threading.Lock()
+    next_index = 0
+    active = 0
+    peak = 0
+    records = []
+    origin = time.monotonic()
+
+    def worker() -> None:
+        nonlocal next_index, active, peak
+        while True:
+            with lock:
+                if next_index >= max_requests:
+                    return
+                index = next_index
+                next_index += 1
+                active += 1
+                peak = max(peak, active)
+            request = requests[index % len(requests)]
+            start = time.monotonic() - origin
+            try:
+                ttfe, latency, events = transport(
+                    request, ("closed", index)
+                )
+                record = RequestRecord(
+                    index=index, start_s=start, ttfe_s=ttfe,
+                    latency_s=latency, events=events,
+                    subscribers=request.subscribers, ok=True,
+                )
+            except Exception as exc:
+                record = RequestRecord(
+                    index=index, start_s=start, ttfe_s=None,
+                    latency_s=None, events=0,
+                    subscribers=request.subscribers, ok=False,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            with lock:
+                active -= 1
+                records.append(record)
+            if think_s:
+                time.sleep(think_s)
+
+    threads = [
+        threading.Thread(target=worker, daemon=True)
+        for _ in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    records.sort(key=lambda record: record.index)
+    return LoadReport(
+        "closed", "wall", records, time.monotonic() - origin, peak,
+        concurrency_cap=concurrency,
+    )

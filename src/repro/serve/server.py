@@ -225,6 +225,10 @@ class Run:
     started: float = field(default_factory=time.monotonic)
     pump: asyncio.Task | None = None
     cache_before: Any = None  # CacheStats snapshot at launch
+    # Subscriber fan-out counters (event-stream connections).
+    subscribers_active: int = 0
+    subscribers_total: int = 0
+    subscribers_peak: int = 0
 
     def describe(self) -> dict[str, Any]:
         return {
@@ -236,6 +240,11 @@ class Run:
             "events_logged": self.log.last_id,
             "error": self.error,
             "failed_experiments": sorted(self.failures),
+            "subscribers": {
+                "active": self.subscribers_active,
+                "total": self.subscribers_total,
+                "peak": self.subscribers_peak,
+            },
             "events_url": f"/runs/{self.run_id}/events",
             "result_url": f"/runs/{self.run_id}/result",
         }
@@ -305,6 +314,22 @@ class ServeApp:
             ) from None
         if spec.get("matcher") is not None:
             params["matcher"] = str(spec["matcher"])
+        if spec.get("scenario") is not None:
+            if list(names) != ["scenario"]:
+                raise HttpError(
+                    400, "'scenario' only applies to the 'scenario' "
+                    "experiment"
+                )
+            from repro.workloads.scenarios import parse_scenario
+
+            try:
+                # Canonicalized: every spelling of one spec shares one
+                # content-addressed schedule.
+                params["scenario"] = parse_scenario(
+                    str(spec["scenario"])
+                ).name
+            except ValueError as exc:
+                raise HttpError(400, f"bad scenario spec: {exc}") from None
         on_error = spec.get("on_error", "raise")
         if on_error not in ("raise", "collect"):
             raise HttpError(
@@ -501,6 +526,9 @@ class ServeApp:
         if parts == ["healthz"] and method == "GET":
             await respond_json(writer, 200, {
                 "ok": True, "runs": len(self.runs),
+                "subscribers_active": sum(
+                    run.subscribers_active for run in self.runs.values()
+                ),
                 "schema": codec.EVENT_SCHEMA_VERSION,
             })
         elif parts == ["experiments"] and method == "GET":
@@ -669,6 +697,20 @@ class ServeApp:
         self._start_stream(writer, jsonl)
         await writer.drain()
 
+        run.subscribers_active += 1
+        run.subscribers_total += 1
+        run.subscribers_peak = max(
+            run.subscribers_peak, run.subscribers_active
+        )
+        try:
+            await self._tail_events(writer, run, jsonl, last_id)
+        finally:
+            run.subscribers_active -= 1
+
+    async def _tail_events(
+        self, writer: asyncio.StreamWriter, run: Run,
+        jsonl: bool, last_id: int,
+    ) -> None:
         while True:
             batch, dropped = run.log.events_since(last_id)
             if dropped:

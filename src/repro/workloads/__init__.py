@@ -14,6 +14,16 @@ from repro.workloads.datasets import (
     make_dataset_span,
     make_sample,
 )
+from repro.workloads.scenarios import (  # noqa: E402  (needs datasets first)
+    SCENARIO_FAMILIES,
+    ScenarioSpec,
+    canonical_scenario_name,
+    is_scenario_name,
+    make_scenario_span,
+    parse_scenario,
+    scenario_digest,
+    scenario_names,
+)
 
 __all__ = [
     "Scene",
@@ -36,4 +46,12 @@ __all__ = [
     "make_dataset",
     "make_dataset_span",
     "make_sample",
+    "SCENARIO_FAMILIES",
+    "ScenarioSpec",
+    "canonical_scenario_name",
+    "is_scenario_name",
+    "make_scenario_span",
+    "parse_scenario",
+    "scenario_digest",
+    "scenario_names",
 ]

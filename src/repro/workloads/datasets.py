@@ -139,9 +139,17 @@ def make_sample(
     codebooks: Codebooks,
     seed: int,
     sample_index: int,
+    stream_label: str | None = None,
 ) -> Sample:
-    """Generate one sample of a dataset profile."""
-    stream = rng_for(seed, "dataset", profile.name, sample_index)
+    """Generate one sample of a dataset profile.
+
+    ``stream_label`` overrides the rng stream label (default: the
+    profile name).  Scenario families pass their canonical name here
+    so their samples draw from the scenario's own stream instead of
+    colliding with the base dataset's.
+    """
+    label = profile.name if stream_label is None else stream_label
+    stream = rng_for(seed, "dataset", label, sample_index)
     scene_seed = int(stream.integers(2**31))
     scene = random_scene(
         num_frames=profile.num_frames,
@@ -200,6 +208,15 @@ def make_dataset_span(
     if start < 0 or stop < start:
         raise ValueError(
             f"invalid sample span [{start}, {stop}): need 0 <= start <= stop"
+        )
+    # Lazy: scenarios import this module, so the dispatch can't be a
+    # top-level import.  Scenario names carry a family prefix
+    # ("mtconv:...") that no base profile uses.
+    from repro.workloads.scenarios import is_scenario_name, make_scenario_span
+
+    if is_scenario_name(name):
+        return make_scenario_span(
+            name, layout, start, stop, seed=seed, vocab_seed=vocab_seed
         )
     profile = get_profile(name)
     codebooks = Codebooks(layout, seed=vocab_seed)

@@ -1,0 +1,101 @@
+"""Multi-turn conversational VQA with growing KV history (``mtconv``).
+
+Samples group into conversations of ``turns`` questions about one
+shared video: sample ``i`` is turn ``i % turns`` of conversation
+``i // turns``.  The visual stream is rendered once per conversation
+(every turn re-derives it bit-identically from the conversation
+index), and the text stream *grows*: turn ``t`` carries ``history``
+summary tokens for each of the ``t`` preceding questions followed by
+the current question's full encoding, so later turns stress exactly
+the growing-KV regime streaming concentration targets.  The query
+token stays last, as the model requires.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.utils.rng import rng_for
+from repro.workloads.datasets import ALL_PROFILES, Sample, get_profile
+from repro.workloads.prompts import encode_text, random_question
+from repro.workloads.scene import random_scene
+from repro.workloads.scenarios.spec import (
+    ParamValue,
+    ScenarioSpec,
+    register_family,
+)
+from repro.workloads.video import render_video, token_positions
+
+from repro.model.embedding import Codebooks
+
+
+def _validate(params: Mapping[str, ParamValue]) -> None:
+    if int(params["turns"]) < 1:
+        raise ValueError("mtconv: turns must be >= 1")
+    if int(params["history"]) < 1:
+        raise ValueError("mtconv: history must be >= 1")
+    if params["profile"] not in ALL_PROFILES:
+        raise ValueError(
+            f"mtconv: unknown profile {params['profile']!r}; "
+            f"available: {sorted(ALL_PROFILES)}"
+        )
+
+
+@register_family(
+    "mtconv",
+    "multi-turn conversational VQA with growing KV history",
+    {"turns": 4, "history": 4, "profile": "videomme"},
+    validate=_validate,
+)
+def generate(
+    spec: ScenarioSpec, codebooks: Codebooks, seed: int, index: int
+) -> Sample:
+    params = spec.param_map
+    profile = get_profile(str(params["profile"]))
+    turns = int(params["turns"])
+    history = int(params["history"])
+    conversation, turn = divmod(index, turns)
+
+    # The shared video: keyed by the conversation, not the turn, so
+    # every turn of one conversation re-renders it bit-identically.
+    stream = rng_for(seed, "scenario", spec.name, "conversation",
+                     conversation)
+    scene_seed = int(stream.integers(2**31))
+    scene = random_scene(
+        num_frames=profile.num_frames,
+        grid_height=profile.grid_height,
+        grid_width=profile.grid_width,
+        num_objects=profile.num_objects,
+        seed=scene_seed,
+        motion_scale=profile.motion_scale,
+        sample_index=conversation,
+    )
+    visual = render_video(scene, codebooks, profile.render, scene_seed,
+                          sample_index=conversation)
+
+    # Turn k's question is keyed by the global turn index, so turn t
+    # sees the identical questions turns 0..t-1 asked.
+    def turn_question(k: int):
+        return random_question(scene, scene_seed,
+                               sample_index=conversation * turns + k)
+
+    pieces = [
+        encode_text(turn_question(past), codebooks, history, scene_seed,
+                    sample_index=conversation * turns + past)
+        for past in range(turn)
+    ]
+    question = turn_question(turn)
+    current = encode_text(question, codebooks, profile.num_text_tokens,
+                          scene_seed,
+                          sample_index=conversation * turns + turn)
+    text = np.concatenate([*pieces, current], axis=0) if pieces else current
+    return Sample(
+        visual_tokens=visual,
+        text_tokens=text,
+        positions=token_positions(scene),
+        scene=scene,
+        question=question,
+        codebooks=codebooks,
+    )

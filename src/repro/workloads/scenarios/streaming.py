@@ -1,0 +1,116 @@
+"""Long/streaming video with scene churn (``stream``).
+
+Each sample is one long video stitched from several *segments*, each
+an independently generated scene.  The per-sample churn rate and the
+segment boundaries are drawn from a seeded generator: the nominal
+``churn`` param (the per-frame probability of a scene cut) is jittered
+per sample, then each inter-frame gap flips a coin at that rate, so
+segment lengths are geometric around ``1/churn`` frames.  High churn
+breaks the temporal redundancy streaming concentration exploits, low
+churn restores it — sweeping ``churn`` traces out exactly the
+streaming regime of the paper.
+
+The question is asked about the *final* segment (the "live" scene a
+streaming viewer is watching); earlier segments act as stale history
+in the KV cache.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.utils.rng import rng_for
+from repro.workloads.datasets import ALL_PROFILES, Sample, get_profile
+from repro.workloads.prompts import encode_text, random_question
+from repro.workloads.scene import Scene, random_scene
+from repro.workloads.scenarios.spec import (
+    ParamValue,
+    ScenarioSpec,
+    register_family,
+)
+from repro.workloads.video import render_video, token_positions
+
+from repro.model.embedding import Codebooks
+
+
+def _validate(params: Mapping[str, ParamValue]) -> None:
+    if int(params["frames"]) < 1:
+        raise ValueError("stream: frames must be >= 1")
+    churn = float(params["churn"])
+    if not 0.0 < churn <= 1.0:
+        raise ValueError("stream: churn must be in (0, 1]")
+    if params["profile"] not in ALL_PROFILES:
+        raise ValueError(
+            f"stream: unknown profile {params['profile']!r}; "
+            f"available: {sorted(ALL_PROFILES)}"
+        )
+
+
+@register_family(
+    "stream",
+    "long/streaming video traces with scene churn",
+    {"frames": 16, "churn": 0.25, "profile": "mlvu"},
+    validate=_validate,
+)
+def generate(
+    spec: ScenarioSpec, codebooks: Codebooks, seed: int, index: int
+) -> Sample:
+    params = spec.param_map
+    profile = get_profile(str(params["profile"]))
+    frames = int(params["frames"])
+    churn = float(params["churn"])
+
+    stream = rng_for(seed, "scenario", spec.name, "segments", index)
+    rate = min(max(float(stream.uniform(0.5, 1.5)) * churn, 1e-6), 1.0)
+    cuts = stream.random(frames - 1) < rate
+    lengths: list[int] = []
+    run = 1
+    for cut in cuts:
+        if cut:
+            lengths.append(run)
+            run = 1
+        else:
+            run += 1
+    lengths.append(run)
+
+    chunks = []
+    segment_scene: Scene | None = None
+    segment_seed = 0
+    for length in lengths:
+        segment_seed = int(stream.integers(2**31))
+        segment_scene = random_scene(
+            num_frames=length,
+            grid_height=profile.grid_height,
+            grid_width=profile.grid_width,
+            num_objects=profile.num_objects,
+            seed=segment_seed,
+            motion_scale=profile.motion_scale,
+            sample_index=index,
+        )
+        chunks.append(render_video(segment_scene, codebooks,
+                                   profile.render, segment_seed,
+                                   sample_index=index))
+    visual = np.concatenate(chunks, axis=0)
+
+    # The composite scene spans all frames; ground truth (objects, and
+    # therefore the question) comes from the live final segment.
+    composite = Scene(
+        num_frames=frames,
+        grid_height=profile.grid_height,
+        grid_width=profile.grid_width,
+        objects=segment_scene.objects,
+    )
+    question = random_question(segment_scene, segment_seed,
+                               sample_index=index)
+    text = encode_text(question, codebooks, profile.num_text_tokens,
+                       segment_seed, sample_index=index)
+    return Sample(
+        visual_tokens=visual,
+        text_tokens=text,
+        positions=token_positions(composite),
+        scene=composite,
+        question=question,
+        codebooks=codebooks,
+    )

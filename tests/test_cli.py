@@ -139,7 +139,7 @@ class TestMain:
         expected = {
             "table2", "table3", "table4", "table5",
             "fig2b", "fig2c", "fig9", "fig10a", "fig10b", "fig10c",
-            "fig10d", "fig11", "fig12", "fig13",
+            "fig10d", "fig11", "fig12", "fig13", "scenario",
         }
         assert expected == set(experiment_names())
 
@@ -201,3 +201,104 @@ class TestMain:
                      "--cache-dir", str(tmp_path)]) == 0
         out = capsys.readouterr().out
         assert "0 executed" in out
+
+
+class TestScenarioFlag:
+    def test_scenario_spec_canonicalized_at_parse_time(self):
+        args = build_parser().parse_args(
+            ["scenario", "--scenario", "mtconv:turns=2"]
+        )
+        assert args.scenario == \
+            "mtconv:seed=0,history=4,profile=videomme,turns=2"
+
+    def test_invalid_scenario_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["scenario", "--scenario", "mtconv:bogus=1"]
+            )
+        assert "bogus" in capsys.readouterr().err
+
+    def test_scenario_flag_requires_scenario_experiment(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table2", "--scenario", "mtconv"])
+        assert "only applies" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_scenario_experiment_runs(self, capsys):
+        assert main(["scenario", "--scenario", "mtconv:turns=2",
+                     "--samples", "2", "--eval-shards", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "SCENARIO mtconv" in out
+        assert "digest" in out
+
+
+class TestLoadCommand:
+    def _parse(self, argv):
+        from repro.load.cli import build_parser as build_load_parser
+        return build_load_parser().parse_args(argv)
+
+    def test_defaults(self):
+        args = self._parse([])
+        assert args.mode == "closed"
+        assert not args.virtual
+        assert args.url == "http://127.0.0.1:8377"
+
+    @pytest.mark.parametrize("argv, fragment", [
+        (["--mode", "open", "--concurrency", "2"], "conflicts"),
+        (["--mode", "open", "--think", "1", "--requests", "4"],
+         "conflicts"),
+        (["--mode", "closed", "--rate", "8"], "conflicts"),
+        (["--mode", "closed", "--duration", "2", "--burst-size", "2"],
+         "conflicts"),
+        (["--url", "ftp://x"], "http"),
+        (["--concurrency", "0"], ">= 1"),
+        (["--think", "-1"], ">= 0"),
+        (["--scenario", "mtconv", "--experiments", "fig13"],
+         "only applies"),
+        (["--scenario", "nope"], "unknown scenario"),
+    ])
+    def test_flag_validation(self, argv, fragment, capsys):
+        from repro.load.cli import main as load_main
+        with pytest.raises(SystemExit):
+            load_main(argv)
+        assert fragment in capsys.readouterr().err
+
+    def test_bad_trace_file_errors(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"at_s": -3}\n', encoding="utf-8")
+        from repro.load.cli import main as load_main
+        with pytest.raises(SystemExit):
+            load_main(["--virtual", "--trace", str(bad)])
+        err = capsys.readouterr().err
+        assert "bad trace file" in err
+        with pytest.raises(SystemExit):
+            load_main(["--virtual",
+                       "--trace", str(tmp_path / "missing.jsonl")])
+        assert "bad trace file" in capsys.readouterr().err
+
+    def test_virtual_closed_loop_via_main_dispatch(self, capsys,
+                                                   tmp_path):
+        output = tmp_path / "load.json"
+        assert main(["load", "--virtual", "--mode", "closed",
+                     "--concurrency", "2", "--requests", "6",
+                     "--subscribers", "3",
+                     "--output", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "[load closed/virtual] 6 requests (0 failed)" in out
+        assert "histogram:" in out
+        import json
+        summary = json.loads(output.read_text(encoding="utf-8"))
+        assert summary["requests"] == 6
+        assert summary["fanout"]["subscribers"] == 3
+        assert sum(summary["histogram_ms"]["counts"]) == 6
+
+    def test_virtual_open_loop_replays_trace(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text(
+            '{"at_s": 0.0}\n{"at_s": 0.1, "subscribers": 2}\n',
+            encoding="utf-8",
+        )
+        assert main(["load", "--virtual", "--mode", "open",
+                     "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "[load open/virtual] 2 requests (0 failed)" in out

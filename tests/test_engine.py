@@ -364,7 +364,7 @@ class TestRegistry:
         expected = {
             "table2", "table3", "table4", "table5",
             "fig2b", "fig2c", "fig9", "fig10a", "fig10b", "fig10c",
-            "fig10d", "fig11", "fig12", "fig13",
+            "fig10d", "fig11", "fig12", "fig13", "scenario",
         }
         assert expected == set(experiment_names())
 

@@ -1,0 +1,281 @@
+"""Tests for the load harness (:mod:`repro.load`).
+
+Pins the virtual-clock determinism contract (identical seeds →
+identical timelines, percentiles, and histograms), the closed-loop
+concurrency cap (a property test over the recorded timeline), and the
+trace format's validation surface.  Wall-clock threading is exercised
+against the deterministic :class:`VirtualTransport` — any transport
+works in wall mode, so no server is needed here (``test_serve.py``
+and the benchmarks cover real HTTP).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.load import (
+    HISTOGRAM_EDGES_MS,
+    LoadRequest,
+    TraceError,
+    VirtualTransport,
+    latency_histogram,
+    poisson_trace,
+    read_trace,
+    run_closed_loop,
+    run_open_loop,
+    write_trace,
+)
+from repro.load.harness import RequestRecord, _peak_overlap, _percentile
+
+
+class TestVirtualDeterminism:
+    def test_open_loop_reproduces_identical_reports(self):
+        trace = poisson_trace(rate=20.0, duration_s=1.0, seed=7,
+                              burst_size=2)
+        assert trace  # non-degenerate schedule
+        reports = [
+            run_open_loop(trace, VirtualTransport(seed=7), virtual=True)
+            for _ in range(2)
+        ]
+        assert reports[0].records == reports[1].records
+        assert reports[0].summary() == reports[1].summary()
+        assert sum(reports[0].summary()["histogram_ms"]["counts"]) == \
+            len(trace)
+
+    def test_closed_loop_reproduces_identical_reports(self):
+        template = LoadRequest(subscribers=3)
+        reports = [
+            run_closed_loop([template], concurrency=4,
+                            transport=VirtualTransport(seed=5),
+                            think_s=0.01, max_requests=24, virtual=True)
+            for _ in range(2)
+        ]
+        assert reports[0].records == reports[1].records
+        assert reports[0].summary() == reports[1].summary()
+
+    def test_different_seeds_differ(self):
+        template = LoadRequest()
+        a = run_closed_loop([template], 2, VirtualTransport(seed=0),
+                            max_requests=8)
+        b = run_closed_loop([template], 2, VirtualTransport(seed=1),
+                            max_requests=8)
+        assert a.records != b.records
+
+    def test_summary_shape(self):
+        report = run_closed_loop([LoadRequest(subscribers=2)], 2,
+                                 VirtualTransport(), max_requests=6)
+        summary = report.summary()
+        assert summary["mode"] == "closed"
+        assert summary["clock"] == "virtual"
+        assert summary["requests"] == 6
+        assert summary["failed"] == 0
+        assert summary["latency_ms"]["p50"] > 0
+        assert summary["latency_ms"]["p99"] >= summary["latency_ms"]["p50"]
+        assert summary["ttfe_ms"]["p50"] > 0
+        assert summary["ttfe_ms"]["p50"] < summary["latency_ms"]["p50"]
+        assert summary["fanout"]["subscribers"] == 2
+        assert summary["fanout"]["events"] == 6 * 12 * 2
+        assert summary["concurrency"]["cap"] == 2
+        assert 1 <= summary["concurrency"]["peak"] <= 2
+        assert len(summary["histogram_ms"]["counts"]) == \
+            len(HISTOGRAM_EDGES_MS)
+        assert sum(summary["histogram_ms"]["counts"]) == 6
+
+    def test_open_loop_preserves_arrival_schedule(self):
+        trace = poisson_trace(rate=10.0, duration_s=2.0, seed=3)
+        report = run_open_loop(trace, VirtualTransport(seed=3),
+                               virtual=True)
+        assert [r.start_s for r in report.records] == \
+            [request.at_s for request in trace]
+
+
+class TestClosedLoopConcurrencyCap:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        concurrency=st.integers(1, 6),
+        max_requests=st.integers(1, 30),
+        think_ms=st.sampled_from([0, 5, 50]),
+        seed=st.integers(0, 3),
+    )
+    def test_virtual_peak_never_exceeds_cap(
+        self, concurrency, max_requests, think_ms, seed
+    ):
+        report = run_closed_loop(
+            [LoadRequest()], concurrency,
+            VirtualTransport(seed=seed), think_s=think_ms / 1e3,
+            max_requests=max_requests, virtual=True,
+        )
+        assert len(report.records) == max_requests
+        assert report.concurrency_peak <= concurrency
+        # Recompute from the recorded timeline — the report's peak is
+        # derived the same way, so cross-check against the records.
+        peak = _peak_overlap(
+            [(r.start_s, r.start_s + r.latency_s) for r in report.records]
+        )
+        assert peak <= concurrency
+
+    def test_wall_peak_never_exceeds_cap(self):
+        report = run_closed_loop(
+            [LoadRequest()], concurrency=3,
+            transport=VirtualTransport(seed=0, base_s=0.002,
+                                       jitter_s=0.001),
+            max_requests=12, virtual=False,
+        )
+        assert report.clock == "wall"
+        assert len(report.records) == 12
+        assert {r.index for r in report.records} == set(range(12))
+        assert report.concurrency_peak <= 3
+        assert all(r.ok for r in report.records)
+
+    def test_wall_open_loop_with_virtual_transport(self):
+        trace = [LoadRequest(at_s=i * 0.002) for i in range(6)]
+        report = run_open_loop(
+            trace, VirtualTransport(seed=1, base_s=0.001,
+                                    jitter_s=0.0005),
+            virtual=False,
+        )
+        assert report.mode == "open"
+        assert len(report.records) == 6
+        assert all(r.ok for r in report.records)
+        assert report.wall_s > 0
+
+    def test_wall_mode_records_failures(self):
+        calls = [0]
+
+        def flaky(request, key):
+            calls[0] += 1
+            if calls[0] % 2:
+                raise RuntimeError("boom")
+            return 0.001, 0.002, 1
+
+        report = run_closed_loop([LoadRequest()], 1, flaky,
+                                 max_requests=4, virtual=False)
+        summary = report.summary()
+        assert summary["failed"] == 2
+        assert any("boom" in error for error in summary["errors"])
+
+    def test_rejects_degenerate_arguments(self):
+        with pytest.raises(ValueError):
+            run_closed_loop([LoadRequest()], 0, VirtualTransport())
+        with pytest.raises(ValueError):
+            run_closed_loop([LoadRequest()], 1, VirtualTransport(),
+                            max_requests=0)
+        with pytest.raises(ValueError):
+            run_closed_loop([], 1, VirtualTransport())
+
+
+class TestHistogramAndPercentiles:
+    def test_percentile_ordering(self):
+        values = [float(v) for v in range(1, 101)]
+        p50 = _percentile(values, 50)
+        p95 = _percentile(values, 95)
+        p99 = _percentile(values, 99)
+        assert p50 < p95 < p99
+        assert _percentile([], 50) is None
+
+    def test_histogram_bins_and_overflow(self):
+        def rec(latency_s, ok=True):
+            return RequestRecord(index=0, start_s=0.0, ttfe_s=None,
+                                 latency_s=latency_s, events=0,
+                                 subscribers=1, ok=ok)
+
+        counts = latency_histogram([
+            rec(0.0005),   # 0.5ms -> first bin (<= 1ms)
+            rec(0.003),    # 3ms -> <= 5ms bin
+            rec(500.0),    # 500s -> overflow bin
+            rec(None, ok=False),  # failed: not counted
+        ])
+        assert counts[0] == 1
+        assert counts[HISTOGRAM_EDGES_MS.index(5.0)] == 1
+        assert counts[-1] == 1
+        assert sum(counts) == 3
+
+    def test_peak_overlap_touching_intervals(self):
+        # end == start does not overlap (back-to-back worker requests).
+        assert _peak_overlap([(0, 1), (1, 2), (2, 3)]) == 1
+        assert _peak_overlap([(0, 2), (1, 3)]) == 2
+        assert _peak_overlap([]) == 0
+
+
+class TestTraces:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        requests = [
+            LoadRequest(at_s=0.5, experiments=("fig13",), samples=2,
+                        seed=3, subscribers=2),
+            LoadRequest(at_s=0.1, experiments=("scenario",),
+                        scenario="mtconv:seed=0,history=4,"
+                                 "profile=videomme,turns=4"),
+        ]
+        write_trace(path, requests)
+        loaded = read_trace(path)
+        # read_trace sorts by arrival time.
+        assert loaded == sorted(requests, key=lambda r: r.at_s)
+
+    def test_request_spec_shape(self):
+        spec = LoadRequest(experiments=("scenario",), samples=4, seed=2,
+                           scenario="mtconv").spec()
+        assert spec == {"experiments": ["scenario"], "seed": 2,
+                        "samples": 4, "scenario": "mtconv"}
+
+    @pytest.mark.parametrize("record, fragment", [
+        ("[]", "JSON object"),
+        ('{"at_s": -1}', "at_s"),
+        ('{"at_s": true}', "at_s"),
+        ('{"experiments": []}', "experiments"),
+        ('{"experiments": "fig13"}', "experiments"),
+        ('{"samples": 0}', "samples"),
+        ('{"samples": true}', "samples"),
+        ('{"seed": "x"}', "seed"),
+        ('{"scenario": 7}', "scenario"),
+        ('{"subscribers": 0}', "subscribers"),
+        ('{"bogus": 1}', "unknown fields"),
+    ])
+    def test_bad_records_raise(self, tmp_path, record, fragment):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(record + "\n", encoding="utf-8")
+        with pytest.raises(TraceError, match=fragment):
+            read_trace(path)
+
+    def test_invalid_json_empty_and_unreadable(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{not json\n", encoding="utf-8")
+        with pytest.raises(TraceError, match="invalid JSON"):
+            read_trace(bad)
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("\n\n", encoding="utf-8")
+        with pytest.raises(TraceError, match="empty trace"):
+            read_trace(empty)
+        with pytest.raises(TraceError, match="cannot read"):
+            read_trace(tmp_path / "missing.jsonl")
+
+    def test_defaults_fill_in(self, tmp_path):
+        path = tmp_path / "minimal.jsonl"
+        path.write_text("{}\n", encoding="utf-8")
+        request, = read_trace(path)
+        assert request == LoadRequest()
+
+    def test_poisson_trace_deterministic_and_bursty(self):
+        a = poisson_trace(rate=16.0, duration_s=2.0, seed=1,
+                          burst_size=4)
+        b = poisson_trace(rate=16.0, duration_s=2.0, seed=1,
+                          burst_size=4)
+        assert a == b
+        assert len(a) % 4 == 0
+        arrivals = [request.at_s for request in a]
+        assert arrivals == sorted(arrivals)
+        assert all(0 < at < 2.0 for at in arrivals)
+        # Bursts share one epoch timestamp.
+        assert arrivals[0] == arrivals[3]
+        with pytest.raises(ValueError):
+            poisson_trace(rate=0.0, duration_s=1.0)
+
+    def test_trace_json_lines_are_plain_json(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_trace(path, [LoadRequest(at_s=1.5, subscribers=3)])
+        record = json.loads(path.read_text(encoding="utf-8"))
+        assert record["at_s"] == 1.5
+        assert record["subscribers"] == 3

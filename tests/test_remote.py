@@ -392,6 +392,27 @@ class TestFleetDispatch:
         assert fleet_engine.stats.executed == len(jobs)
 
 
+def _stop_peer(proc):
+    """Terminate a peer subprocess; never leak it or its pipes.
+
+    ``terminate`` first (clean asyncio shutdown), escalate to ``kill``
+    if it doesn't exit within the grace period, and always close the
+    stdio pipes — a leaked pipe keeps the socket pair (and on failure
+    paths the whole process) alive past the test.
+    """
+    try:
+        proc.terminate()
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=30)
+    finally:
+        for pipe in (proc.stdout, proc.stderr):
+            if pipe is not None:
+                pipe.close()
+
+
 def _start_peer(env):
     """Spawn a ``repro serve`` peer; return (process, base_url)."""
     proc = subprocess.Popen(
@@ -400,15 +421,19 @@ def _start_peer(env):
         env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
         text=True,
     )
-    deadline = time.time() + 30
-    while time.time() < deadline:
-        line = proc.stderr.readline()
-        match = re.search(r"http://[\d.]+:\d+", line)
-        if match:
-            return proc, match.group(0)
-        if proc.poll() is not None:
-            break
-    proc.kill()
+    try:
+        deadline = time.time() + 30
+        while time.time() < deadline:
+            line = proc.stderr.readline()
+            match = re.search(r"http://[\d.]+:\d+", line)
+            if match:
+                return proc, match.group(0)
+            if proc.poll() is not None:
+                break
+    except BaseException:
+        _stop_peer(proc)
+        raise
+    _stop_peer(proc)
     raise RuntimeError("peer never announced its address")
 
 
@@ -447,8 +472,6 @@ class TestFleetParity:
             two = run(peers)
         finally:
             for proc in procs:
-                proc.terminate()
-            for proc in procs:
-                proc.wait(timeout=30)
+                _stop_peer(proc)
         assert one == solo
         assert two == solo

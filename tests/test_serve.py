@@ -14,6 +14,7 @@ from __future__ import annotations
 import asyncio
 import json
 import time
+from contextlib import asynccontextmanager
 
 import numpy as np
 import pytest
@@ -413,6 +414,23 @@ async def _start(app: ServeApp):
     return server, server.sockets[0].getsockname()[1]
 
 
+@asynccontextmanager
+async def serving(app: ServeApp):
+    """Start ``app`` on an ephemeral port; always close-and-join.
+
+    Tears down the listening socket (close + ``wait_closed``) and the
+    app's engine even when the test body raises, so a failing test
+    can't leak a bound socket or a worker pool into later tests.
+    """
+    server, port = await _start(app)
+    try:
+        yield server, port
+    finally:
+        server.close()
+        await server.wait_closed()
+        await app.shutdown()
+
+
 async def _request(
     port: int, method: str, path: str,
     body: dict | None = None, headers: dict | None = None,
@@ -445,8 +463,7 @@ class TestHttpFrontend:
     def test_validation_errors(self, tiny_experiment):
         async def scenario():
             app = ServeApp(AsyncExperimentEngine(ExperimentEngine()))
-            server, port = await _start(app)
-            try:
+            async with serving(app) as (server, port):
                 status, body = await _json_request(
                     port, "POST", "/runs", {"experiments": []}
                 )
@@ -461,6 +478,18 @@ class TestHttpFrontend:
                 assert status == 404
                 status, _ = await _request(port, "PUT", "/runs")
                 assert status == 404
+                status, body = await _json_request(
+                    port, "POST", "/runs",
+                    {"experiments": ["table2"], "scenario": "mtconv"},
+                )
+                assert status == 400 and "only applies" in body["error"]
+                status, body = await _json_request(
+                    port, "POST", "/runs",
+                    {"experiments": ["scenario"],
+                     "scenario": "mtconv:bogus=1"},
+                )
+                assert status == 400
+                assert "bad scenario spec" in body["error"]
                 status, body = await _json_request(port, "GET", "/healthz")
                 assert status == 200 and body["ok"]
                 status, body = await _json_request(
@@ -469,18 +498,13 @@ class TestHttpFrontend:
                 assert status == 200
                 names = [e["name"] for e in body["experiments"]]
                 assert tiny_experiment in names and "table2" in names
-            finally:
-                server.close()
-                await server.wait_closed()
-                await app.shutdown()
 
         asyncio.run(scenario())
 
     def test_sse_stream_subscribers_and_resume(self, tiny_experiment):
         async def scenario():
             app = ServeApp(AsyncExperimentEngine(ExperimentEngine()))
-            server, port = await _start(app)
-            try:
+            async with serving(app) as (server, port):
                 status, run = await _json_request(
                     port, "POST", "/runs",
                     {"experiments": [tiny_experiment], "samples": 2},
@@ -528,18 +552,25 @@ class TestHttpFrontend:
                 jsonl = [codec.parse_event(line)
                          for line in raw.decode().splitlines()]
                 assert jsonl == stream1
-            finally:
-                server.close()
-                await server.wait_closed()
-                await app.shutdown()
+
+                # Fan-out accounting: five subscribers streamed this
+                # run (2 concurrent + 2 resumes + 1 jsonl), none left.
+                status, described = await _json_request(
+                    port, "GET", f"/runs/{run_id}"
+                )
+                assert status == 200
+                assert described["subscribers"]["total"] == 5
+                assert described["subscribers"]["peak"] >= 1
+                assert described["subscribers"]["active"] == 0
+                _, health = await _json_request(port, "GET", "/healthz")
+                assert health["subscribers_active"] == 0
 
         asyncio.run(scenario())
 
     def test_resume_mid_run_loses_no_events(self, slow_experiment):
         async def scenario():
             app = ServeApp(AsyncExperimentEngine(ExperimentEngine()))
-            server, port = await _start(app)
-            try:
+            async with serving(app) as (server, port):
                 _, run = await _json_request(
                     port, "POST", "/runs",
                     {"experiments": [slow_experiment]},
@@ -579,18 +610,13 @@ class TestHttpFrontend:
                 ids = [e["id"] for e in head + tail]
                 assert ids == list(range(1, ids[-1] + 1))
                 assert (head + tail)[-1]["event"] == "run-done"
-            finally:
-                server.close()
-                await server.wait_closed()
-                await app.shutdown()
 
         asyncio.run(scenario())
 
     def test_result_bit_identical_to_offline(self, tiny_experiment):
         async def scenario():
             app = ServeApp(AsyncExperimentEngine(ExperimentEngine()))
-            server, port = await _start(app)
-            try:
+            async with serving(app) as (server, port):
                 _, run = await _json_request(
                     port, "POST", "/runs",
                     {"experiments": [tiny_experiment],
@@ -609,10 +635,6 @@ class TestHttpFrontend:
                 assert status == 200
                 return terminal, result
 
-            finally:
-                server.close()
-                await server.wait_closed()
-                await app.shutdown()
 
         terminal, result = asyncio.run(scenario())
         from repro.engine import registry
@@ -633,8 +655,7 @@ class TestHttpFrontend:
             app = ServeApp(AsyncExperimentEngine(
                 ExperimentEngine(workers=2)
             ))
-            server, port = await _start(app)
-            try:
+            async with serving(app) as (server, port):
                 _, run = await _json_request(
                     port, "POST", "/runs",
                     {"experiments": [slow_experiment]},
@@ -663,28 +684,19 @@ class TestHttpFrontend:
                     port, "GET", f"/runs/{run_id}"
                 )
                 assert body["status"] == "cancelled"
-            finally:
-                server.close()
-                await server.wait_closed()
-                await app.shutdown()
 
         asyncio.run(scenario())
 
     def test_bad_samples_is_a_client_error(self, tiny_experiment):
         async def scenario():
             app = ServeApp(AsyncExperimentEngine(ExperimentEngine()))
-            server, port = await _start(app)
-            try:
+            async with serving(app) as (server, port):
                 status, body = await _json_request(
                     port, "POST", "/runs",
                     {"experiments": [tiny_experiment],
                      "samples": "two"},
                 )
                 assert status == 400 and "samples" in body["error"]
-            finally:
-                server.close()
-                await server.wait_closed()
-                await app.shutdown()
 
         asyncio.run(scenario())
 
@@ -704,33 +716,30 @@ class TestHttpFrontend:
             app = ServeApp(
                 AsyncExperimentEngine(ExperimentEngine()), store=store,
             )
-            server, port = await _start(app)
             try:
-                _, run = await _json_request(
-                    port, "POST", "/runs",
-                    {"experiments": [tiny_experiment],
-                     "on_error": "collect"},
-                )
-                run_id = run["run_id"]
-                _, raw = await _request(
-                    port, "GET", f"/runs/{run_id}/events"
-                )
-                stream = codec.parse_sse(raw.decode())
-                status, result = await _json_request(
-                    port, "GET", f"/runs/{run_id}/result"
-                )
-                while status == 409:
-                    await asyncio.sleep(0.02)
+                async with serving(app) as (server, port):
+                    _, run = await _json_request(
+                        port, "POST", "/runs",
+                        {"experiments": [tiny_experiment],
+                         "on_error": "collect"},
+                    )
+                    run_id = run["run_id"]
+                    _, raw = await _request(
+                        port, "GET", f"/runs/{run_id}/events"
+                    )
+                    stream = codec.parse_sse(raw.decode())
                     status, result = await _json_request(
                         port, "GET", f"/runs/{run_id}/result"
                     )
-                stored = store.get_run(run_id)
-                return stream, status, result, stored
+                    while status == 409:
+                        await asyncio.sleep(0.02)
+                        status, result = await _json_request(
+                            port, "GET", f"/runs/{run_id}/result"
+                        )
+                    stored = store.get_run(run_id)
+                    return stream, status, result, stored
             finally:
                 install_fault_plan(None)
-                server.close()
-                await server.wait_closed()
-                await app.shutdown()
                 store.close()
 
         stream, status, result, stored = asyncio.run(scenario())
@@ -751,8 +760,7 @@ class TestHttpFrontend:
                 AsyncExperimentEngine(ExperimentEngine()),
                 max_finished_runs=2,
             )
-            server, port = await _start(app)
-            try:
+            async with serving(app) as (server, port):
                 ids = []
                 for _ in range(4):
                     _, run = await _json_request(
@@ -773,10 +781,6 @@ class TestHttpFrontend:
                     port, "GET", f"/runs/{ids[-1]}/result"
                 )
                 assert status == 200  # newest retained
-            finally:
-                server.close()
-                await server.wait_closed()
-                await app.shutdown()
 
         asyncio.run(scenario())
 
@@ -785,8 +789,7 @@ class TestHttpFrontend:
             app = ServeApp(
                 AsyncExperimentEngine(ExperimentEngine()), ring_size=2
             )
-            server, port = await _start(app)
-            try:
+            async with serving(app) as (server, port):
                 _, run = await _json_request(
                     port, "POST", "/runs",
                     {"experiments": [tiny_experiment]},
@@ -807,10 +810,6 @@ class TestHttpFrontend:
                 assert stream[0]["event"] == "gap"
                 assert stream[0]["dropped"] > 0
                 assert stream[-1]["event"] == "run-done"
-            finally:
-                server.close()
-                await server.wait_closed()
-                await app.shutdown()
 
         asyncio.run(scenario())
 
@@ -826,8 +825,7 @@ class TestHttpFrontend:
             app = ServeApp(
                 AsyncExperimentEngine(ExperimentEngine()), ring_size=2
             )
-            server, port = await _start(app)
-            try:
+            async with serving(app) as (server, port):
                 _, run = await _json_request(
                     port, "POST", "/runs",
                     {"experiments": [tiny_experiment]},
@@ -862,10 +860,6 @@ class TestHttpFrontend:
                 )
                 resumed = codec.parse_sse(raw.decode())
                 assert resumed == retained
-            finally:
-                server.close()
-                await server.wait_closed()
-                await app.shutdown()
 
         asyncio.run(scenario())
 
@@ -885,8 +879,7 @@ class TestServedRealExperiment:
 
         async def scenario():
             app = ServeApp(AsyncExperimentEngine(ExperimentEngine()))
-            server, port = await _start(app)
-            try:
+            async with serving(app) as (server, port):
                 _, run = await _json_request(
                     port, "POST", "/runs",
                     {"experiments": ["fig13"], "samples": 1,
@@ -900,10 +893,6 @@ class TestServedRealExperiment:
                     port, "GET", f"/runs/{run['run_id']}/result"
                 )
                 return stream, result
-            finally:
-                server.close()
-                await server.wait_closed()
-                await app.shutdown()
 
         stream, result = asyncio.run(scenario())
         served = [e for e in stream if e["event"] == "progress"]
